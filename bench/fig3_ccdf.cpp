@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 3: the complementary cumulative distribution
+// (exceedance function) of the pWCET of benchmark adpcm for three levels of
+// protection — none, SRB, RW — at pfail = 1e-4.
+//
+// Output: one (exceedance probability, pWCET cycles) series per mechanism,
+// sampled at decade probabilities from 1e0 down to 1e-16, exactly the range
+// of the paper's y-axis. The expected shape: a near-vertical drop around
+// the fault-free WCET, then plateaus; the no-protection curve extends far
+// to the right at low probabilities (whole-set failures), while the RW and
+// SRB curves stay close to the fault-free WCET.
+#include <cmath>
+#include <cstdio>
+
+#include "core/pwcet_analyzer.hpp"
+#include "support/table.hpp"
+#include "workloads/malardalen.hpp"
+
+int main() {
+  using namespace pwcet;
+  const CacheConfig config = CacheConfig::paper_default();
+  const FaultModel faults(1e-4);
+
+  const Program program = workloads::build("adpcm");
+  const PwcetAnalyzer analyzer(program, config);
+
+  std::printf(
+      "Fig. 3 — pWCET exceedance (CCDF) for adpcm, pfail = %g\n"
+      "fault-free WCET = %lld cycles\n\n",
+      faults.pfail(), static_cast<long long>(analyzer.fault_free_wcet()));
+
+  const PwcetResult none = analyzer.analyze(faults, Mechanism::kNone);
+  const PwcetResult rw = analyzer.analyze(faults, Mechanism::kReliableWay);
+  const PwcetResult srb =
+      analyzer.analyze(faults, Mechanism::kSharedReliableBuffer);
+
+  TextTable table({"exceedance", "no-protection", "SRB", "RW"});
+  for (int decade = 0; decade >= -16; --decade) {
+    const double p = std::pow(10.0, decade);
+    table.add_row({fmt_prob(p), std::to_string(none.pwcet(p)),
+                   std::to_string(srb.pwcet(p)),
+                   std::to_string(rw.pwcet(p))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The paper's qualitative claims at the certification target.
+  const double target = 1e-15;
+  std::printf("at 1e-15: none=%lld  SRB=%lld  RW=%lld  (expect RW <= SRB "
+              "<= none; plateaus from whole-set failures on 'none')\n",
+              static_cast<long long>(none.pwcet(target)),
+              static_cast<long long>(srb.pwcet(target)),
+              static_cast<long long>(rw.pwcet(target)));
+  return 0;
+}

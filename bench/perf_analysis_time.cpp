@@ -1,0 +1,119 @@
+// E7: cost of the analysis toolchain itself (google-benchmark).
+//
+// The paper's toolchain ran Heptane + CPLEX offline; this bench documents
+// that the from-scratch reproduction is interactive-speed: cache analysis,
+// IPET construction + solve, FMM bundle, and the full pWCET pipeline.
+#include <benchmark/benchmark.h>
+
+#include "core/pwcet_analyzer.hpp"
+#include "wcet/cost_model.hpp"
+#include "wcet/ipet.hpp"
+#include "wcet/tree_engine.hpp"
+#include "workloads/malardalen.hpp"
+
+namespace {
+
+using namespace pwcet;
+
+void BM_BuildProgram(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(workloads::build("adpcm"));
+}
+BENCHMARK(BM_BuildProgram);
+
+void BM_ClassifyFaultFree(benchmark::State& state) {
+  const Program p = workloads::build("adpcm");
+  const CacheConfig c = CacheConfig::paper_default();
+  const auto refs = extract_references(p.cfg(), c);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(classify_fault_free(p.cfg(), refs, c));
+}
+BENCHMARK(BM_ClassifyFaultFree);
+
+void BM_IpetConstructAndSolve(benchmark::State& state) {
+  const Program p = workloads::build("adpcm");
+  const CacheConfig c = CacheConfig::paper_default();
+  const auto refs = extract_references(p.cfg(), c);
+  const auto cls = classify_fault_free(p.cfg(), refs, c);
+  const CostModel m = build_time_cost_model(p.cfg(), refs, cls, c);
+  for (auto _ : state) {
+    IpetCalculator ipet(p);
+    benchmark::DoNotOptimize(ipet.maximize(m));
+  }
+}
+BENCHMARK(BM_IpetConstructAndSolve);
+
+void BM_IpetReoptimize(benchmark::State& state) {
+  const Program p = workloads::build("adpcm");
+  const CacheConfig c = CacheConfig::paper_default();
+  const auto refs = extract_references(p.cfg(), c);
+  const auto cls = classify_fault_free(p.cfg(), refs, c);
+  const CostModel m = build_time_cost_model(p.cfg(), refs, cls, c);
+  IpetCalculator ipet(p);
+  for (auto _ : state) benchmark::DoNotOptimize(ipet.maximize(m));
+}
+BENCHMARK(BM_IpetReoptimize);
+
+void BM_TreeEngine(benchmark::State& state) {
+  const Program p = workloads::build("adpcm");
+  const CacheConfig c = CacheConfig::paper_default();
+  const auto refs = extract_references(p.cfg(), c);
+  const auto cls = classify_fault_free(p.cfg(), refs, c);
+  const CostModel m = build_time_cost_model(p.cfg(), refs, cls, c);
+  for (auto _ : state) benchmark::DoNotOptimize(tree_maximize(p, m));
+}
+BENCHMARK(BM_TreeEngine);
+
+void BM_FmmBundleTree(benchmark::State& state) {
+  const Program p = workloads::build("adpcm");
+  const CacheConfig c = CacheConfig::paper_default();
+  const auto refs = extract_references(p.cfg(), c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_fmm_bundle(p, c, refs, WcetEngine::kTree, nullptr));
+  }
+}
+BENCHMARK(BM_FmmBundleTree);
+
+void BM_FmmBundleIlp(benchmark::State& state) {
+  const Program p = workloads::build("adpcm");
+  const CacheConfig c = CacheConfig::paper_default();
+  const auto refs = extract_references(p.cfg(), c);
+  for (auto _ : state) {
+    IpetCalculator ipet(p);
+    benchmark::DoNotOptimize(
+        compute_fmm_bundle(p, c, refs, WcetEngine::kIlp, &ipet));
+  }
+}
+BENCHMARK(BM_FmmBundleIlp);
+
+void BM_FullPwcetPipeline(benchmark::State& state) {
+  const Program p = workloads::build("adpcm");
+  const CacheConfig c = CacheConfig::paper_default();
+  const FaultModel faults(1e-4);
+  for (auto _ : state) {
+    const PwcetAnalyzer analyzer(p, c);
+    benchmark::DoNotOptimize(analyzer.analyze(faults, Mechanism::kNone));
+    benchmark::DoNotOptimize(
+        analyzer.analyze(faults, Mechanism::kReliableWay));
+    benchmark::DoNotOptimize(
+        analyzer.analyze(faults, Mechanism::kSharedReliableBuffer));
+  }
+}
+BENCHMARK(BM_FullPwcetPipeline);
+
+void BM_AnalyzePerMechanism(benchmark::State& state) {
+  const Program p = workloads::build("adpcm");
+  const CacheConfig c = CacheConfig::paper_default();
+  const PwcetAnalyzer analyzer(p, c);
+  const FaultModel faults(1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.analyze(faults, Mechanism::kSharedReliableBuffer));
+  }
+}
+BENCHMARK(BM_AnalyzePerMechanism);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Ablation E3: sensitivity of the pWCET estimates to the cell failure
+// probability pfail, reproducing the observation motivating the paper
+// (§I, quoting [1]): "pWCET estimates increase rapidly with the
+// probability of faults as compared to fault-free WCET estimates", and
+// showing how the RW/SRB mechanisms flatten that growth.
+//
+// Sweeps pfail over the range discussed in the introduction (6.1e-13 at
+// 45 nm up to 1e-3 at low voltage / 12 nm-class nodes) for a representative
+// subset of benchmarks; reports pWCET@1e-15 normalized to the fault-free
+// WCET.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pwcet_analyzer.hpp"
+#include "support/table.hpp"
+#include "workloads/malardalen.hpp"
+
+int main() {
+  using namespace pwcet;
+  const CacheConfig config = CacheConfig::paper_default();
+  const double target = 1e-15;
+  const std::vector<double> pfails{6.1e-13, 1e-9, 1e-7, 1e-6, 1e-5,
+                                   1e-4,    1e-3};
+  const std::vector<std::string> names{"adpcm", "fibcall", "matmult", "crc",
+                                       "fft",   "ud"};
+
+  std::printf("E3 — pWCET@1e-15 / fault-free WCET vs pfail\n\n");
+  for (const std::string& name : names) {
+    const Program program = workloads::build(name);
+    const PwcetAnalyzer analyzer(program, config);
+    const double ff = static_cast<double>(analyzer.fault_free_wcet());
+
+    TextTable table({"pfail", "none", "SRB", "RW"});
+    for (double pfail : pfails) {
+      const FaultModel faults(pfail);
+      const auto none = analyzer.analyze(faults, Mechanism::kNone);
+      const auto srb =
+          analyzer.analyze(faults, Mechanism::kSharedReliableBuffer);
+      const auto rw = analyzer.analyze(faults, Mechanism::kReliableWay);
+      table.add_row({fmt_prob(pfail),
+                     fmt_double(none.pwcet(target) / ff, 3),
+                     fmt_double(srb.pwcet(target) / ff, 3),
+                     fmt_double(rw.pwcet(target) / ff, 3)});
+    }
+    std::printf("%s (fault-free WCET = %.0f cycles)\n%s\n", name.c_str(), ff,
+                table.to_string().c_str());
+  }
+  std::printf(
+      "expected shape: 'none' grows rapidly once whole-set failures enter\n"
+      "the 1e-15 budget; RW stays near 1.0 longest (no f = W column), SRB\n"
+      "in between — the motivation for the paper's mechanisms.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Ablation E5: the cost of the SRB analysis' conservative reload
+// assumption (paper §III-B.2 explicitly leaves a more precise SRB analysis
+// for future work and illustrates the conservatism with the stream
+// a1 a2 b1 b2 a1 a2).
+//
+// With every set of the cache fully faulty (the regime where the SRB
+// serves all fetches), the analysis bounds the misses of each executed
+// line reference by 1 unless it is SRB-always-hit (then 0). The simulator
+// gives the misses the hardware actually takes on the same path: fewer,
+// whenever the SRB happens to retain a line across an interleaving the
+// static analysis had to assume reloads it. The gap — plus a breakdown of
+// where the SRB's benefit comes from (intra-line spatial hits) — is what a
+// flow-sensitive SRB analysis could reclaim.
+#include <cstdio>
+
+#include "cache/references.hpp"
+#include "core/pwcet_analyzer.hpp"
+#include "icache/srb_analysis.hpp"
+#include "sim/cache_sim.hpp"
+#include "sim/path.hpp"
+#include "support/table.hpp"
+#include "wcet/cost_model.hpp"
+#include "wcet/tree_engine.hpp"
+#include "workloads/malardalen.hpp"
+
+int main() {
+  using namespace pwcet;
+  const CacheConfig config = CacheConfig::paper_default();
+
+  std::printf("E5 — SRB analysis conservatism (all sets fully faulty)\n\n");
+  TextTable table({"benchmark", "fetches", "spatial-hits", "misses-sim",
+                   "misses-static", "slack%"});
+
+  double worst_slack = 0.0;
+  for (const std::string& name : workloads::names()) {
+    const Program program = workloads::build(name);
+    const auto refs = extract_references(program.cfg(), config);
+    const SrbHitMap static_hits = analyze_srb(program.cfg(), refs);
+
+    // Worst fault-free path (the path the pWCET bound is built around).
+    const auto cls = classify_fault_free(program.cfg(), refs, config);
+    const CostModel time_model =
+        build_time_cost_model(program.cfg(), refs, cls, config);
+    const auto path = tree_worst_path(program, time_model);
+
+    // All sets fully faulty: every fetch goes through the SRB.
+    FaultMap all_faulty(config.sets, config.ways);
+    for (SetIndex s = 0; s < config.sets; ++s)
+      for (std::uint32_t w = 0; w < config.ways; ++w)
+        all_faulty.set_faulty(s, w, true);
+
+    CacheSimulator sim(config, all_faulty,
+                       Mechanism::kSharedReliableBuffer);
+    std::uint64_t static_miss_bound = 0;  // 1 per executed non-AH reference
+    for (BlockId blk : path) {
+      const auto& block_refs = refs[size_t(blk)];
+      for (std::size_t i = 0; i < block_refs.size(); ++i) {
+        const LineRef& r = block_refs[i];
+        static_miss_bound += static_hits[size_t(blk)][i] ? 0 : 1;
+        for (std::uint32_t k = 0; k < r.fetches; ++k)
+          sim.fetch(r.line * config.line_bytes + 4 * k);
+      }
+    }
+    const SimStats& st = sim.stats();
+    const double slack =
+        static_miss_bound == 0
+            ? 0.0
+            : 100.0 *
+                  (static_cast<double>(static_miss_bound) -
+                   static_cast<double>(st.misses)) /
+                  static_cast<double>(static_miss_bound);
+    worst_slack = std::max(worst_slack, slack);
+    table.add_row({name, std::to_string(st.fetches),
+                   std::to_string(st.srb_hits),
+                   std::to_string(st.misses),
+                   std::to_string(static_miss_bound),
+                   fmt_double(slack, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "spatial-hits: SRB hits from intra-line locality — the benefit the\n"
+      "analysis *does* credit (a reference costs 1 miss, not k fetch\n"
+      "misses). slack%% = (static miss bound - simulated misses) / bound.\n"
+      "With ALL sets faulty the hardware really does reload the SRB at\n"
+      "every reference, so the conservative assumption is exact (%.1f%%).\n\n",
+      worst_slack);
+
+  // Part 2 — a SINGLE fully faulty set: references to healthy sets do not
+  // touch the SRB, so the hardware retains the faulty set's line across
+  // them (the a1 a2 b1 b2 a1 a2 situation of §III-B.2 with b healthy);
+  // the analysis must still assume a reload. This is where the paper's
+  // conservatism actually bites.
+  std::printf("single fully faulty set (set 0): misses charged to set 0\n\n");
+  TextTable single({"benchmark", "set0-refs", "misses-sim", "misses-static",
+                    "slack%"});
+  double worst_single = 0.0;
+  for (const std::string& name : workloads::names()) {
+    const Program program = workloads::build(name);
+    const auto refs = extract_references(program.cfg(), config);
+    const SrbHitMap static_hits = analyze_srb(program.cfg(), refs);
+    const auto cls = classify_fault_free(program.cfg(), refs, config);
+    const CostModel time_model =
+        build_time_cost_model(program.cfg(), refs, cls, config);
+    const auto path = tree_worst_path(program, time_model);
+
+    FaultMap one_set(config.sets, config.ways);
+    for (std::uint32_t w = 0; w < config.ways; ++w)
+      one_set.set_faulty(0, w, true);
+
+    CacheSimulator sim(config, one_set, Mechanism::kSharedReliableBuffer);
+    std::uint64_t set0_refs = 0;
+    std::uint64_t static_bound = 0;
+    for (BlockId blk : path) {
+      const auto& block_refs = refs[size_t(blk)];
+      for (std::size_t i = 0; i < block_refs.size(); ++i) {
+        const LineRef& r = block_refs[i];
+        if (r.set == 0) {
+          ++set0_refs;
+          static_bound += static_hits[size_t(blk)][i] ? 0 : 1;
+        }
+        for (std::uint32_t k = 0; k < r.fetches; ++k)
+          sim.fetch(r.line * config.line_bytes + 4 * k);
+      }
+    }
+    const std::uint64_t sim_misses = sim.stats().misses_per_set[0];
+    const double slack =
+        static_bound == 0
+            ? 0.0
+            : 100.0 *
+                  (static_cast<double>(static_bound) -
+                   static_cast<double>(sim_misses)) /
+                  static_cast<double>(static_bound);
+    worst_single = std::max(worst_single, slack);
+    single.add_row({name, std::to_string(set0_refs),
+                    std::to_string(sim_misses),
+                    std::to_string(static_bound), fmt_double(slack, 1)});
+  }
+  std::printf("%s\n", single.to_string().c_str());
+  std::printf(
+      "here the hardware retains lines across healthy-set interleavings\n"
+      "that the reload assumption discards: up to %.1f%% of the bounded\n"
+      "misses never happen. A flow-sensitive SRB analysis (the paper's\n"
+      "future work) could reclaim exactly this gap.\n",
+      worst_single);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Scenario: a hardware designer choosing between the RW and the SRB
+// (paper §III-A: "the two mechanisms differ by their hardware cost and
+// impact on estimated pWCETs, to allow the hardware designer to find the
+// best pWCET/cost tradeoff").
+//
+// For a task set and a range of cell failure probabilities, prints the
+// pWCET head-room each mechanism buys over the unprotected cache, next to
+// a simple hardware-cost proxy (hardened bits: the RW hardens one way —
+// sets * line bits — while the SRB hardens a single line).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pwcet_analyzer.hpp"
+#include "support/table.hpp"
+#include "workloads/malardalen.hpp"
+
+int main() {
+  using namespace pwcet;
+  const CacheConfig config = CacheConfig::paper_default();
+  const double target = 1e-15;
+
+  const std::uint64_t rw_bits =
+      std::uint64_t{config.sets} * config.block_bits();
+  const std::uint64_t srb_bits = config.block_bits();
+  std::printf(
+      "Mechanism cost proxy: RW hardens %llu bits (one way), SRB hardens "
+      "%llu bits (one buffer) — a %.0fx difference.\n\n",
+      static_cast<unsigned long long>(rw_bits),
+      static_cast<unsigned long long>(srb_bits),
+      static_cast<double>(rw_bits) / static_cast<double>(srb_bits));
+
+  // A mission task set: one control kernel, one DSP kernel, one big codec.
+  const std::vector<std::string> tasks{"statemate", "fft", "adpcm"};
+  for (const std::string& task : tasks) {
+    const Program program = workloads::build(task);
+    const PwcetAnalyzer analyzer(program, config);
+    TextTable table({"pfail", "none", "SRB", "RW", "SRB-gain%", "RW-gain%"});
+    for (double pfail : {1e-6, 1e-5, 1e-4, 1e-3}) {
+      const FaultModel faults(pfail);
+      const auto none = analyzer.analyze(faults, Mechanism::kNone);
+      const auto srb =
+          analyzer.analyze(faults, Mechanism::kSharedReliableBuffer);
+      const auto rw = analyzer.analyze(faults, Mechanism::kReliableWay);
+      const auto base = static_cast<double>(none.pwcet(target));
+      table.add_row(
+          {fmt_prob(pfail), std::to_string(none.pwcet(target)),
+           std::to_string(srb.pwcet(target)),
+           std::to_string(rw.pwcet(target)),
+           fmt_double(100.0 * (1.0 - srb.pwcet(target) / base), 1),
+           fmt_double(100.0 * (1.0 - rw.pwcet(target) / base), 1)});
+    }
+    std::printf("task %s (fault-free WCET %lld cycles)\n%s\n", task.c_str(),
+                static_cast<long long>(analyzer.fault_free_wcet()),
+                table.to_string().c_str());
+  }
+  std::printf(
+      "Reading: if the SRB's gain is within your timing margin, it delivers\n"
+      "most of the protection at a small fraction of the hardened bits;\n"
+      "kernels with deep temporal reuse justify the RW's extra cost.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: analyzing YOUR OWN task with the public API.
+//
+// Shows the full workflow a downstream user follows: describe the task
+// with the structured builder (sizes, loop bounds, calls — everything a
+// binary decoder would extract), pick a cache, and query the pWCET
+// distribution, including the raw CCDF points (paper Fig. 3) and the
+// fault miss map (paper Fig. 1.a) for one mechanism.
+#include <cstdio>
+
+#include "core/pwcet_analyzer.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pwcet;
+
+  // --- 1. Describe the task -----------------------------------------
+  // An engine-controller-style task: sensor decode, a filter loop calling
+  // a shared fixed-point helper, and an actuation branch.
+  ProgramBuilder b("engine_ctrl");
+  const FunctionId fixmul = b.add_function("fixmul", b.code(24));
+  const StmtId filter_body = b.seq({
+      b.code(20),
+      b.call(fixmul),
+      b.if_else(4, b.code(12), b.code(8)),
+  });
+  const StmtId body = b.seq({
+      b.code(64),                      // sensor decode
+      b.loop(4, 32, filter_body),      // 32-tap filter
+      b.if_else(4, b.seq({b.code(40), b.call(fixmul)}),  // actuate
+                b.code(16)),           // hold
+  });
+  b.add_function("main", b.seq({b.code(96), body, b.code(32)}));
+  const Program program = b.build(1);
+
+  // --- 2. Pick the architecture --------------------------------------
+  CacheConfig config;  // 1 KB, 4-way, 16 B lines, 1/100-cycle latencies
+  const FaultModel faults(1e-4);
+
+  // --- 3. Analyze -----------------------------------------------------
+  const PwcetAnalyzer analyzer(program, config);
+  std::printf("task %s: %llu bytes of code, fault-free WCET %lld cycles\n\n",
+              program.name().c_str(),
+              static_cast<unsigned long long>(program.code_size_bytes()),
+              static_cast<long long>(analyzer.fault_free_wcet()));
+
+  const PwcetResult result =
+      analyzer.analyze(faults, Mechanism::kSharedReliableBuffer);
+
+  // pWCET at certification-relevant exceedance levels.
+  TextTable levels({"exceedance", "pWCET (cycles)", "over fault-free"});
+  for (double p : {1e-6, 1e-9, 1e-12, 1e-15}) {
+    const Cycles v = result.pwcet(p);
+    levels.add_row({fmt_prob(p), std::to_string(v),
+                    fmt_double(100.0 * (v - result.fault_free_wcet) /
+                                   static_cast<double>(
+                                       result.fault_free_wcet),
+                               2) + "%"});
+  }
+  std::printf("SRB-protected pWCET:\n%s\n", levels.to_string().c_str());
+
+  // --- 4. Inspect the fault miss map (paper Fig. 1.a) -----------------
+  std::printf("fault miss map (misses, rows = sets, cols = faulty ways):\n");
+  TextTable fmm({"set", "f=1", "f=2", "f=3", "f=4"});
+  for (SetIndex s = 0; s < config.sets; ++s) {
+    fmm.add_row({std::to_string(s),
+                 fmt_double(result.fmm.at(s, 1), 0),
+                 fmt_double(result.fmm.at(s, 2), 0),
+                 fmt_double(result.fmm.at(s, 3), 0),
+                 fmt_double(result.fmm.at(s, 4), 0)});
+  }
+  std::printf("%s", fmm.to_string().c_str());
+  std::printf(
+      "\nthe f=4 column is what the SRB tames: without it, a fully faulty\n"
+      "set costs every fetch a miss rather than one miss per reference.\n");
+  return 0;
+}

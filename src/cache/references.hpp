@@ -1,0 +1,36 @@
+// Line-reference extraction.
+//
+// The analyses and the FMM work at *line-reference* granularity: each basic
+// block is abstracted into the ordered sequence of cache lines it fetches
+// from, with the number of instruction fetches covered by each line
+// (`fetches`). In a working (or RW/SRB-covered) set, the fetches after the
+// first one in a line always hit — spatial locality. When a set is entirely
+// faulty and unprotected, every one of the `fetches` accesses misses, which
+// is the catastrophic case the paper's mechanisms eliminate.
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "cfg/cfg.hpp"
+
+namespace pwcet {
+
+/// One cache-line reference inside a basic block.
+struct LineRef {
+  LineAddress line = 0;
+  SetIndex set = 0;
+  std::uint32_t fetches = 0;  ///< instruction fetches covered by this line
+};
+
+/// Per-block ordered line references, indexed by BlockId.
+using ReferenceMap = std::vector<std::vector<LineRef>>;
+
+/// Extracts the line references of every basic block.
+ReferenceMap extract_references(const ControlFlowGraph& cfg,
+                                const CacheConfig& config);
+
+/// Total fetches recorded in the map for one block (== instruction_count).
+std::uint64_t block_fetches(const ReferenceMap& refs, BlockId b);
+
+}  // namespace pwcet

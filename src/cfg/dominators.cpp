@@ -1,0 +1,109 @@
+#include "cfg/dominators.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+
+DominatorTree::DominatorTree(const ControlFlowGraph& cfg) {
+  const auto order = cfg.reverse_post_order();
+  rpo_index_.assign(cfg.block_count(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    rpo_index_[size_t(order[i])] = static_cast<std::int32_t>(i);
+
+  idom_.assign(cfg.block_count(), kNoBlock);
+  idom_[size_t(cfg.entry())] = cfg.entry();
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index_[size_t(a)] > rpo_index_[size_t(b)])
+        a = idom_[size_t(a)];
+      while (rpo_index_[size_t(b)] > rpo_index_[size_t(a)])
+        b = idom_[size_t(b)];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : order) {
+      if (b == cfg.entry()) continue;
+      BlockId new_idom = kNoBlock;
+      for (EdgeId e : cfg.block(b).in_edges) {
+        const BlockId pred = cfg.edge(e).source;
+        if (idom_[size_t(pred)] == kNoBlock) continue;  // not yet processed
+        new_idom = (new_idom == kNoBlock) ? pred : intersect(new_idom, pred);
+      }
+      PWCET_ASSERT(new_idom != kNoBlock);  // cfg is connected from entry
+      if (idom_[size_t(b)] != new_idom) {
+        idom_[size_t(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId a, BlockId b) const {
+  for (;;) {
+    if (a == b) return true;
+    const BlockId up = idom_[size_t(b)];
+    if (up == b) return false;  // reached entry without meeting a
+    b = up;
+  }
+}
+
+std::vector<DetectedLoop> detect_natural_loops(const ControlFlowGraph& cfg) {
+  const DominatorTree dom(cfg);
+
+  // Group back edges by header.
+  std::vector<DetectedLoop> loops;
+  auto loop_for_header = [&](BlockId header) -> DetectedLoop& {
+    for (auto& l : loops)
+      if (l.header == header) return l;
+    loops.push_back({header, {}, {}});
+    return loops.back();
+  };
+
+  for (const CfgEdge& e : cfg.edges()) {
+    if (!dom.dominates(e.target, e.source)) continue;
+    loop_for_header(e.target).back_edges.push_back(e.id);
+  }
+
+  // Natural loop body: header plus all blocks that reach a back-edge source
+  // without passing through the header (reverse reachability).
+  for (DetectedLoop& loop : loops) {
+    std::vector<std::uint8_t> in_loop(cfg.block_count(), 0);
+    in_loop[size_t(loop.header)] = 1;
+    std::vector<BlockId> work;
+    for (EdgeId e : loop.back_edges) {
+      const BlockId src = cfg.edge(e).source;
+      if (!in_loop[size_t(src)]) {
+        in_loop[size_t(src)] = 1;
+        work.push_back(src);
+      }
+    }
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      for (EdgeId e : cfg.block(b).in_edges) {
+        const BlockId pred = cfg.edge(e).source;
+        if (!in_loop[size_t(pred)]) {
+          in_loop[size_t(pred)] = 1;
+          work.push_back(pred);
+        }
+      }
+    }
+    for (BlockId b = 0; static_cast<size_t>(b) < cfg.block_count(); ++b)
+      if (in_loop[size_t(b)]) loop.blocks.push_back(b);
+  }
+
+  std::sort(loops.begin(), loops.end(),
+            [](const DetectedLoop& a, const DetectedLoop& b) {
+              return a.header < b.header;
+            });
+  return loops;
+}
+
+}  // namespace pwcet

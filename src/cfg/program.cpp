@@ -1,0 +1,283 @@
+#include "cfg/program.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+
+ProgramBuilder::ProgramBuilder(std::string program_name)
+    : name_(std::move(program_name)) {}
+
+StmtId ProgramBuilder::add_stmt(Stmt s) {
+  const StmtId id = static_cast<StmtId>(stmts_.size());
+  stmts_.push_back(std::move(s));
+  return id;
+}
+
+StmtId ProgramBuilder::code(std::uint32_t n) {
+  PWCET_EXPECTS(n > 0);
+  Stmt s;
+  s.kind = Kind::kCode;
+  s.instructions = n;
+  return add_stmt(std::move(s));
+}
+
+StmtId ProgramBuilder::code_with_loads(std::uint32_t n,
+                                       std::vector<Address> loads) {
+  PWCET_EXPECTS(n > 0);
+  Stmt s;
+  s.kind = Kind::kCode;
+  s.instructions = n;
+  s.loads = std::move(loads);
+  return add_stmt(std::move(s));
+}
+
+StmtId ProgramBuilder::seq(std::vector<StmtId> stmts) {
+  Stmt s;
+  s.kind = Kind::kSeq;
+  s.children = std::move(stmts);
+  return add_stmt(std::move(s));
+}
+
+StmtId ProgramBuilder::if_else(std::uint32_t cond_instructions,
+                               StmtId then_stmt, StmtId else_stmt) {
+  PWCET_EXPECTS(cond_instructions > 0);
+  Stmt s;
+  s.kind = Kind::kIfElse;
+  s.instructions = cond_instructions;
+  s.children = {then_stmt, else_stmt};
+  return add_stmt(std::move(s));
+}
+
+StmtId ProgramBuilder::if_then(std::uint32_t cond_instructions,
+                               StmtId then_stmt) {
+  return if_else(cond_instructions, then_stmt, seq({}));
+}
+
+StmtId ProgramBuilder::loop(std::uint32_t header_instructions,
+                            std::int64_t bound, StmtId body) {
+  PWCET_EXPECTS(header_instructions > 0);
+  PWCET_EXPECTS(bound >= 0);
+  Stmt s;
+  s.kind = Kind::kLoop;
+  s.instructions = header_instructions;
+  s.bound = bound;
+  s.children = {body};
+  return add_stmt(std::move(s));
+}
+
+StmtId ProgramBuilder::call(FunctionId callee) {
+  PWCET_EXPECTS(callee >= 0 &&
+                static_cast<size_t>(callee) < functions_.size());
+  Stmt s;
+  s.kind = Kind::kCall;
+  s.callee = callee;
+  return add_stmt(std::move(s));
+}
+
+FunctionId ProgramBuilder::add_function(std::string function_name,
+                                        StmtId body) {
+  PWCET_EXPECTS(body >= 0 && static_cast<size_t>(body) < stmts_.size());
+  const FunctionId id = static_cast<FunctionId>(functions_.size());
+  functions_.push_back({std::move(function_name), body, 0});
+  return id;
+}
+
+Address ProgramBuilder::layout_stmt(StmtId sid, Address at) {
+  Stmt& s = stmts_[size_t(sid)];
+  switch (s.kind) {
+    case Kind::kCode:
+      s.chunk_address = at;
+      return at + s.instructions * kInstructionBytes;
+    case Kind::kSeq: {
+      for (StmtId c : s.children) at = layout_stmt(c, at);
+      return at;
+    }
+    case Kind::kIfElse: {
+      s.chunk_address = at;  // condition code
+      at += s.instructions * kInstructionBytes;
+      at = layout_stmt(s.children[0], at);  // then arm
+      at = layout_stmt(s.children[1], at);  // else arm
+      return at;
+    }
+    case Kind::kLoop: {
+      s.chunk_address = at;  // header (test) code
+      at += s.instructions * kInstructionBytes;
+      return layout_stmt(s.children[0], at);
+    }
+    case Kind::kCall:
+      return at;  // callee laid out at declaration; call transfers control
+  }
+  PWCET_ASSERT(false);
+  return at;
+}
+
+struct ProgramBuilder::BuildState {
+  Program* program = nullptr;
+  // Loops being built: index == final LoopId.
+  std::vector<LoopInfo> loops;
+  std::vector<LoopId> loop_stack;  // enclosing loops, outermost first
+  std::vector<FunctionId> call_stack;  // recursion guard
+
+  BlockId new_block(Address addr, std::uint32_t n) {
+    const BlockId b = program->cfg_.add_block(addr, n);
+    for (LoopId l : loop_stack) loops[size_t(l)].blocks.push_back(b);
+    return b;
+  }
+
+  TreeId new_tree(TreeNode node) {
+    const TreeId t = static_cast<TreeId>(program->tree_.size());
+    program->tree_.push_back(std::move(node));
+    return t;
+  }
+
+  TreeId leaf(BlockId b) {
+    TreeNode n;
+    n.kind = TreeKind::kLeaf;
+    n.block = b;
+    return new_tree(std::move(n));
+  }
+};
+
+struct ProgramBuilder::Region {
+  BlockId entry = kNoBlock;
+  BlockId exit = kNoBlock;
+  TreeId tree = kNoTree;
+};
+
+ProgramBuilder::Region ProgramBuilder::instantiate(StmtId sid,
+                                                   BuildState& st) const {
+  const Stmt& s = stmts_[size_t(sid)];
+  ControlFlowGraph& cfg = st.program->cfg_;
+  switch (s.kind) {
+    case Kind::kCode: {
+      const BlockId b = st.new_block(s.chunk_address, s.instructions);
+      if (!s.loads.empty())
+        cfg.set_data_addresses(b, s.loads);  // shared across call sites
+      return {b, b, st.leaf(b)};
+    }
+    case Kind::kSeq: {
+      if (s.children.empty()) {
+        // Empty region: a zero-instruction pass-through block.
+        const BlockId b = st.new_block(0, 0);
+        return {b, b, st.leaf(b)};
+      }
+      Region first = instantiate(s.children[0], st);
+      TreeNode seq_node;
+      seq_node.kind = TreeKind::kSeq;
+      seq_node.children.push_back(first.tree);
+      BlockId entry = first.entry;
+      BlockId exit = first.exit;
+      for (std::size_t i = 1; i < s.children.size(); ++i) {
+        Region next = instantiate(s.children[i], st);
+        cfg.add_edge(exit, next.entry);
+        exit = next.exit;
+        seq_node.children.push_back(next.tree);
+      }
+      return {entry, exit, st.new_tree(std::move(seq_node))};
+    }
+    case Kind::kIfElse: {
+      const BlockId cond = st.new_block(s.chunk_address, s.instructions);
+      const Region then_r = instantiate(s.children[0], st);
+      const Region else_r = instantiate(s.children[1], st);
+      const BlockId join = st.new_block(0, 0);
+      cfg.add_edge(cond, then_r.entry);
+      cfg.add_edge(cond, else_r.entry);
+      cfg.add_edge(then_r.exit, join);
+      cfg.add_edge(else_r.exit, join);
+      TreeNode alt;
+      alt.kind = TreeKind::kAlt;
+      alt.children = {then_r.tree, else_r.tree};
+      const TreeId alt_tree = st.new_tree(std::move(alt));
+      TreeNode seq_node;
+      seq_node.kind = TreeKind::kSeq;
+      seq_node.children = {st.leaf(cond), alt_tree, st.leaf(join)};
+      return {cond, join, st.new_tree(std::move(seq_node))};
+    }
+    case Kind::kLoop: {
+      // Preheader gives the loop a locally known entry edge; exit block
+      // keeps the region single-exit.
+      const BlockId preheader = st.new_block(0, 0);
+
+      const LoopId loop_id = static_cast<LoopId>(st.loops.size());
+      LoopInfo info;
+      info.id = loop_id;
+      info.parent = st.loop_stack.empty() ? kNoLoop : st.loop_stack.back();
+      info.bound = s.bound;
+      st.loops.push_back(std::move(info));
+      st.loop_stack.push_back(loop_id);
+
+      const BlockId header = st.new_block(s.chunk_address, s.instructions);
+      const Region body = instantiate(s.children[0], st);
+
+      st.loop_stack.pop_back();
+      const BlockId loop_exit = st.new_block(0, 0);
+
+      const EdgeId entry_edge = cfg.add_edge(preheader, header);
+      cfg.add_edge(header, body.entry);
+      const EdgeId back_edge = cfg.add_edge(body.exit, header);
+      cfg.add_edge(header, loop_exit);
+
+      LoopInfo& built = st.loops[size_t(loop_id)];
+      built.header = header;
+      built.entry_edges = {entry_edge};
+      built.back_edges = {back_edge};
+
+      TreeNode loop_node;
+      loop_node.kind = TreeKind::kLoop;
+      loop_node.bound = s.bound;
+      loop_node.loop = loop_id;
+      loop_node.children = {st.leaf(header), body.tree};
+      const TreeId loop_tree = st.new_tree(std::move(loop_node));
+      TreeNode seq_node;
+      seq_node.kind = TreeKind::kSeq;
+      seq_node.children = {st.leaf(preheader), loop_tree,
+                           st.leaf(loop_exit)};
+      return {preheader, loop_exit, st.new_tree(std::move(seq_node))};
+    }
+    case Kind::kCall: {
+      PWCET_EXPECTS(std::find(st.call_stack.begin(), st.call_stack.end(),
+                              s.callee) == st.call_stack.end());
+      st.call_stack.push_back(s.callee);
+      const Region r = instantiate(functions_[size_t(s.callee)].body, st);
+      st.call_stack.pop_back();
+      return r;
+    }
+  }
+  PWCET_ASSERT(false);
+  return {};
+}
+
+Program ProgramBuilder::build(FunctionId entry, Address base_address) {
+  PWCET_EXPECTS(!built_);
+  PWCET_EXPECTS(entry >= 0 && static_cast<size_t>(entry) < functions_.size());
+  built_ = true;
+
+  // Code layout: functions in declaration order.
+  Address at = base_address;
+  for (Function& f : functions_) {
+    f.first_address = at;
+    at = layout_stmt(f.body, at);
+  }
+
+  Program program;
+  program.name_ = name_;
+  program.code_size_bytes_ = at - base_address;
+
+  BuildState st;
+  st.program = &program;
+  st.call_stack.push_back(entry);
+  const Region body = instantiate(functions_[size_t(entry)].body, st);
+  st.call_stack.pop_back();
+
+  program.cfg_.set_entry(body.entry);
+  program.cfg_.set_exit(body.exit);
+  program.tree_root_ = body.tree;
+
+  for (LoopInfo& loop : st.loops) program.cfg_.add_loop(std::move(loop));
+  program.cfg_.validate();
+  return program;
+}
+
+}  // namespace pwcet

@@ -1,0 +1,146 @@
+// Structured task representation.
+//
+// Workloads are written against a structured-program builder (sequences,
+// if/else, bounded loops, calls). `ProgramBuilder::build` then
+//   1. lays out code addresses per function (contiguous, 4-byte
+//      instructions, functions in declaration order) — the moral equivalent
+//      of the paper's "gcc 4.1, default linker memory layout";
+//   2. inlines every call site (virtual inlining, the standard WCET
+//      treatment that distinguishes calling contexts while *sharing* the
+//      callee's instruction addresses across call sites — which is what
+//      makes instruction-cache reuse across calls visible);
+//   3. produces a single-entry/single-exit `ControlFlowGraph` with exact
+//      natural-loop metadata and a parallel *structure tree* used by the
+//      loop-tree WCET engine and the worst-path extractor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "support/types.hpp"
+
+namespace pwcet {
+
+using StmtId = std::int32_t;
+using FunctionId = std::int32_t;
+using TreeId = std::int32_t;
+
+inline constexpr TreeId kNoTree = -1;
+
+/// Structure-tree node kinds (post-inlining view of the program).
+enum class TreeKind : std::uint8_t {
+  kLeaf,  ///< one basic block
+  kSeq,   ///< children execute in order
+  kAlt,   ///< exactly one child executes (if/else arms)
+  kLoop,  ///< children = {header leaf, body}; body runs <= bound times
+};
+
+struct TreeNode {
+  TreeKind kind = TreeKind::kSeq;
+  BlockId block = kNoBlock;        ///< kLeaf only
+  std::vector<TreeId> children;
+  std::int64_t bound = 0;          ///< kLoop only
+  LoopId loop = kNoLoop;           ///< kLoop only
+};
+
+/// A fully built task: CFG + loops + structure tree + layout metadata.
+class Program {
+ public:
+  const std::string& name() const { return name_; }
+  const ControlFlowGraph& cfg() const { return cfg_; }
+  const std::vector<TreeNode>& tree() const { return tree_; }
+  TreeId tree_root() const { return tree_root_; }
+  const TreeNode& tree_node(TreeId t) const { return tree_[size_t(t)]; }
+
+  /// Code size in bytes over all functions (before inlining; inlining does
+  /// not duplicate code, only CFG nodes).
+  Address code_size_bytes() const { return code_size_bytes_; }
+
+ private:
+  friend class ProgramBuilder;
+  std::string name_;
+  ControlFlowGraph cfg_;
+  std::vector<TreeNode> tree_;
+  TreeId tree_root_ = kNoTree;
+  Address code_size_bytes_ = 0;
+};
+
+/// Builder for structured tasks. Statement handles are plain ids into an
+/// internal arena; functions own a body statement and are laid out in
+/// declaration order.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string program_name);
+
+  /// `n` straight-line instructions.
+  StmtId code(std::uint32_t n);
+
+  /// `n` straight-line instructions that additionally load from the given
+  /// statically known data addresses (in order). Feeds the data-cache
+  /// extension; code-only analyses ignore the loads.
+  StmtId code_with_loads(std::uint32_t n, std::vector<Address> loads);
+
+  /// Sequential composition.
+  StmtId seq(std::vector<StmtId> stmts);
+
+  /// Two-way branch; the condition evaluates `cond_instructions` fetches.
+  StmtId if_else(std::uint32_t cond_instructions, StmtId then_stmt,
+                 StmtId else_stmt);
+
+  /// One-armed branch (empty else).
+  StmtId if_then(std::uint32_t cond_instructions, StmtId then_stmt);
+
+  /// While-style loop: the header (test, `header_instructions` fetches)
+  /// executes bound+1 times per entry, the body at most `bound` times.
+  StmtId loop(std::uint32_t header_instructions, std::int64_t bound,
+              StmtId body);
+
+  /// Call to a previously declared function; inlined at build time.
+  /// Recursion is rejected.
+  StmtId call(FunctionId callee);
+
+  /// Declares a function with its body. Functions must be declared before
+  /// being called (enforces acyclic call structure by construction).
+  FunctionId add_function(std::string function_name, StmtId body);
+
+  /// Finalizes the task. `base_address` is where the code image starts.
+  Program build(FunctionId entry, Address base_address = 0);
+
+ private:
+  enum class Kind : std::uint8_t { kCode, kSeq, kIfElse, kLoop, kCall };
+
+  struct Stmt {
+    Kind kind = Kind::kCode;
+    std::uint32_t instructions = 0;  // kCode size / cond size / header size
+    std::vector<Address> loads;      // kCode only: data addresses loaded
+    std::vector<StmtId> children;
+    std::int64_t bound = 0;
+    FunctionId callee = -1;
+    Address chunk_address = 0;  // assigned by layout (code/cond/header)
+  };
+
+  struct Function {
+    std::string name;
+    StmtId body = -1;
+    Address first_address = 0;
+  };
+
+  struct BuildState;  // defined in program.cpp
+
+  StmtId add_stmt(Stmt s);
+  Address layout_stmt(StmtId s, Address at);
+
+  /// Instantiates `s` into the CFG; returns {entry block, exit block,
+  /// subtree id}. Defined in program.cpp.
+  struct Region;
+  Region instantiate(StmtId s, BuildState& st) const;
+
+  std::string name_;
+  std::vector<Stmt> stmts_;
+  std::vector<Function> functions_;
+  bool built_ = false;
+};
+
+}  // namespace pwcet

@@ -1,0 +1,80 @@
+#include "core/pwcet_analyzer.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+#include "wcet/tree_engine.hpp"
+
+namespace pwcet {
+
+PwcetAnalyzer::PwcetAnalyzer(const Program& program,
+                             const CacheConfig& config,
+                             const PwcetOptions& options)
+    : program_(program), config_(config), options_(options) {
+  config_.validate();
+  refs_ = extract_references(program.cfg(), config_);
+
+  if (options_.engine == WcetEngine::kIlp)
+    ipet_ = std::make_unique<IpetCalculator>(program_);
+
+  const ClassificationMap classification =
+      classify_fault_free(program.cfg(), refs_, config_);
+  const CostModel time_model =
+      build_time_cost_model(program.cfg(), refs_, classification, config_);
+
+  double wcet = 0.0;
+  if (options_.engine == WcetEngine::kIlp)
+    wcet = ipet_->maximize(time_model).objective;
+  else
+    wcet = tree_maximize(program_, time_model);
+  // The time model is integral; ceil absorbs LP round-off soundly.
+  fault_free_wcet_ = static_cast<Cycles>(std::ceil(wcet - 1e-6));
+
+  fmm_ = compute_fmm_bundle(program_, config_, refs_, options_.engine,
+                            ipet_.get());
+}
+
+PwcetResult PwcetAnalyzer::analyze(const FaultModel& faults,
+                                   Mechanism mechanism) const {
+  const FaultMissMap& fmm = fmm_.of(mechanism);
+  const std::vector<Probability> pwf =
+      faults.way_failure_pmf(config_, mechanism);
+
+  // Per-set penalty distribution: one atom per possible fault count
+  // (paper Fig. 1.b), value = miss_penalty * FMM[s][f].
+  std::vector<DiscreteDistribution> per_set;
+  per_set.reserve(config_.sets);
+  for (SetIndex s = 0; s < config_.sets; ++s) {
+    std::vector<ProbabilityAtom> atoms;
+    atoms.reserve(pwf.size());
+    for (std::size_t f = 0; f < pwf.size(); ++f) {
+      const double misses = fmm.at(s, static_cast<std::uint32_t>(f));
+      const auto penalty = static_cast<Cycles>(
+          std::ceil(misses - 1e-6) * static_cast<double>(config_.miss_penalty));
+      atoms.push_back({penalty, pwf[f]});
+    }
+    per_set.push_back(DiscreteDistribution::from_atoms(std::move(atoms)));
+  }
+
+  PwcetResult result;
+  result.mechanism = mechanism;
+  result.fault_free_wcet = fault_free_wcet_;
+  result.fmm = fmm;
+  result.penalty =
+      convolve_all(per_set, options_.max_distribution_points);
+  return result;
+}
+
+std::vector<CcdfPoint> PwcetResult::ccdf() const {
+  std::vector<CcdfPoint> points;
+  points.reserve(penalty.size());
+  for (const ProbabilityAtom& atom : penalty.atoms()) {
+    // P[WCET > fault_free + value] is the tail strictly above the atom;
+    // report the exceedance just below it, i.e. including the atom itself.
+    points.push_back({fault_free_wcet + atom.value,
+                      penalty.exceedance(atom.value - 1)});
+  }
+  return points;
+}
+
+}  // namespace pwcet

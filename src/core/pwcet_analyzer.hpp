@@ -1,0 +1,99 @@
+// Top-level probabilistic WCET analysis (the paper's contribution).
+//
+// Given a task, a cache configuration, a cell failure probability and a
+// reliability mechanism, produces the pWCET distribution:
+//
+//   1. fault-free WCET via static cache analysis + IPET (§II-B);
+//   2. FMM via per-(set, fault-count) delta maximization (§II-C, §III-B);
+//   3. per-set penalty distributions {(miss_penalty * FMM[s][f], pwf(f))}
+//      with pwf from Eq. (2) (none/SRB) or Eq. (3) (RW);
+//   4. convolution across independent sets (Fig. 1.b) with conservative
+//      support coalescing;
+//   5. pWCET(p) = fault-free WCET + penalty quantile at exceedance p.
+//
+// The result's exceedance function is the complementary cumulative
+// distribution plotted in the paper's Fig. 3; the 1e-15 quantile is the
+// pWCET estimate reported in Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "cache/references.hpp"
+#include "cfg/program.hpp"
+#include "fault/fault_model.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "wcet/fmm.hpp"
+#include "wcet/ipet.hpp"
+
+namespace pwcet {
+
+struct PwcetOptions {
+  /// Engine for the fault-free WCET and the FMM delta maximizations.
+  WcetEngine engine = WcetEngine::kIlp;
+  /// Max support points kept between set convolutions (conservative
+  /// coalescing; larger = tighter, slower).
+  std::size_t max_distribution_points = 2048;
+};
+
+/// One (exceedance probability, pWCET) point of the CCDF.
+struct CcdfPoint {
+  Cycles wcet = 0;
+  Probability exceedance = 0.0;
+};
+
+/// Full result of one mechanism analysis.
+struct PwcetResult {
+  Mechanism mechanism = Mechanism::kNone;
+  Cycles fault_free_wcet = 0;
+  DiscreteDistribution penalty;  ///< fault-induced penalty (cycles)
+  FaultMissMap fmm;
+
+  /// pWCET at exceedance probability p: the value the WCET random variable
+  /// exceeds with probability at most p (e.g. p = 1e-15 for Fig. 4).
+  Cycles pwcet(Probability p) const {
+    return fault_free_wcet + penalty.quantile_exceedance(p);
+  }
+
+  /// Exceedance probability of a given WCET value (Fig. 3 y-axis).
+  Probability exceedance(Cycles wcet) const {
+    return penalty.exceedance(wcet - fault_free_wcet);
+  }
+
+  /// The CCDF as explicit points (one per penalty support atom).
+  std::vector<CcdfPoint> ccdf() const;
+};
+
+/// Analyzer bound to one (program, cache) pair. The expensive shared work
+/// (reference extraction, fault-free classification, IPET phase 1, FMM
+/// bundle) is done once and reused across mechanisms and pfail values.
+class PwcetAnalyzer {
+ public:
+  PwcetAnalyzer(const Program& program, const CacheConfig& config,
+                const PwcetOptions& options = {});
+
+  /// Fault-free (deterministic) WCET in cycles.
+  Cycles fault_free_wcet() const { return fault_free_wcet_; }
+
+  /// pWCET analysis for one mechanism at one cell failure probability.
+  PwcetResult analyze(const FaultModel& faults, Mechanism mechanism) const;
+
+  const ReferenceMap& references() const { return refs_; }
+  const FmmBundle& fmm_bundle() const { return fmm_; }
+  const CacheConfig& config() const { return config_; }
+  const Program& program() const { return program_; }
+
+ private:
+  const Program& program_;
+  CacheConfig config_;
+  PwcetOptions options_;
+  ReferenceMap refs_;
+  std::unique_ptr<IpetCalculator> ipet_;
+  Cycles fault_free_wcet_ = 0;
+  FmmBundle fmm_;
+};
+
+}  // namespace pwcet

@@ -1,0 +1,160 @@
+#include "dcache/dcache_analysis.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+#include "wcet/cost_model.hpp"
+#include "wcet/ipet.hpp"
+#include "wcet/tree_engine.hpp"
+
+namespace pwcet {
+namespace {
+
+/// Data-side time model: loads contribute miss penalties only (the load
+/// instruction's execution cycle is already charged as an instruction
+/// fetch by the I-side model).
+CostModel build_data_time_cost_model(const ControlFlowGraph& cfg,
+                                     const ReferenceMap& drefs,
+                                     const ClassificationMap& classification,
+                                     const CacheConfig& dcache) {
+  CostModel model = CostModel::zero(cfg);
+  const auto miss = static_cast<double>(dcache.miss_penalty);
+  for (const BasicBlock& block : cfg.blocks()) {
+    for (std::size_t i = 0; i < drefs[size_t(block.id)].size(); ++i) {
+      const RefClass& cls = classification[size_t(block.id)][i];
+      switch (cls.chmc) {
+        case Chmc::kAlwaysHit:
+          break;
+        case Chmc::kAlwaysMiss:
+        case Chmc::kNotClassified:
+          model.block_cost[size_t(block.id)] += miss;
+          break;
+        case Chmc::kFirstMiss:
+          if (cls.scope == kNoLoop)
+            model.root_entry_cost += miss;
+          else
+            model.loop_entry_cost[size_t(cls.scope)] += miss;
+          break;
+      }
+    }
+  }
+  return model;
+}
+
+CostModel sum_models(const CostModel& a, const CostModel& b) {
+  CostModel out = a;
+  for (std::size_t i = 0; i < out.block_cost.size(); ++i)
+    out.block_cost[i] += b.block_cost[i];
+  for (std::size_t i = 0; i < out.loop_entry_cost.size(); ++i)
+    out.loop_entry_cost[i] += b.loop_entry_cost[i];
+  out.root_entry_cost += b.root_entry_cost;
+  return out;
+}
+
+}  // namespace
+
+ReferenceMap extract_data_references(const ControlFlowGraph& cfg,
+                                     const CacheConfig& dcache) {
+  dcache.validate();
+  ReferenceMap refs(cfg.block_count());
+  for (const BasicBlock& b : cfg.blocks()) {
+    auto& seq = refs[size_t(b.id)];
+    for (Address a : b.data_addresses) {
+      const LineAddress line = dcache.line_of(a);
+      if (!seq.empty() && seq.back().line == line) {
+        ++seq.back().fetches;
+      } else {
+        seq.push_back({line, dcache.set_of_line(line), 1});
+      }
+    }
+  }
+  return refs;
+}
+
+std::uint64_t block_loads(const ControlFlowGraph& cfg, BlockId b) {
+  return cfg.block(b).data_addresses.size();
+}
+
+CombinedPwcetAnalyzer::CombinedPwcetAnalyzer(const Program& program,
+                                             const CacheConfig& icache,
+                                             const CacheConfig& dcache,
+                                             const PwcetOptions& options)
+    : program_(program),
+      icache_(icache),
+      dcache_(dcache),
+      options_(options) {
+  icache_.validate();
+  dcache_.validate();
+  irefs_ = extract_references(program.cfg(), icache_);
+  drefs_ = extract_data_references(program.cfg(), dcache_);
+
+  const ClassificationMap icls =
+      classify_fault_free(program.cfg(), irefs_, icache_);
+  const ClassificationMap dcls =
+      classify_fault_free(program.cfg(), drefs_, dcache_);
+  const CostModel combined = sum_models(
+      build_time_cost_model(program.cfg(), irefs_, icls, icache_),
+      build_data_time_cost_model(program.cfg(), drefs_, dcls, dcache_));
+
+  std::unique_ptr<IpetCalculator> ipet;
+  double wcet = 0.0;
+  if (options_.engine == WcetEngine::kIlp) {
+    ipet = std::make_unique<IpetCalculator>(program_);
+    wcet = ipet->maximize(combined).objective;
+  } else {
+    wcet = tree_maximize(program_, combined);
+  }
+  fault_free_wcet_ = static_cast<Cycles>(std::ceil(wcet - 1e-6));
+
+  ifmm_ = compute_fmm_bundle(program_, icache_, irefs_, options_.engine,
+                             ipet.get());
+  dfmm_ = compute_fmm_bundle(program_, dcache_, drefs_, options_.engine,
+                             ipet.get());
+}
+
+DiscreteDistribution CombinedPwcetAnalyzer::penalty_of(
+    const FmmBundle& fmm, const CacheConfig& config, const FaultModel& faults,
+    Mechanism mechanism) const {
+  const std::vector<Probability> pwf =
+      faults.way_failure_pmf(config, mechanism);
+  std::vector<DiscreteDistribution> per_set;
+  per_set.reserve(config.sets);
+  for (SetIndex s = 0; s < config.sets; ++s) {
+    std::vector<ProbabilityAtom> atoms;
+    for (std::size_t f = 0; f < pwf.size(); ++f) {
+      const double misses =
+          fmm.of(mechanism).at(s, static_cast<std::uint32_t>(f));
+      atoms.push_back({static_cast<Cycles>(std::ceil(misses - 1e-6)) *
+                           config.miss_penalty,
+                       pwf[f]});
+    }
+    per_set.push_back(DiscreteDistribution::from_atoms(std::move(atoms)));
+  }
+  return convolve_all(per_set, options_.max_distribution_points);
+}
+
+PwcetResult CombinedPwcetAnalyzer::analyze(const FaultModel& faults,
+                                           Mechanism mechanism) const {
+  return analyze_mixed(faults, mechanism, mechanism);
+}
+
+PwcetResult CombinedPwcetAnalyzer::analyze_mixed(const FaultModel& faults,
+                                                 Mechanism icache_mech,
+                                                 Mechanism dcache_mech) const {
+  // The two caches are physically disjoint SRAM arrays: their fault counts
+  // are independent, so the combined penalty is the convolution.
+  const DiscreteDistribution ipenalty =
+      penalty_of(ifmm_, icache_, faults, icache_mech);
+  const DiscreteDistribution dpenalty =
+      penalty_of(dfmm_, dcache_, faults, dcache_mech);
+
+  PwcetResult result;
+  result.mechanism = icache_mech;
+  result.fault_free_wcet = fault_free_wcet_;
+  result.fmm = ifmm_.of(icache_mech);
+  result.penalty = ipenalty.convolve(dpenalty)
+                       .coalesce_up(options_.max_distribution_points);
+  return result;
+}
+
+}  // namespace pwcet

@@ -1,0 +1,81 @@
+// Data-cache extension (paper §VI future work: "transpose the hardware and
+// corresponding analyses to data caches").
+//
+// Scope: loads from *statically known* addresses — scalars, constant
+// tables, spill slots — recorded per basic block by the program builder.
+// Input-dependent accesses are outside this extension's scope (sound
+// treatment would classify them not-classified; they simply cannot be
+// expressed). Stores are not modeled (read-only data, or write-through /
+// no-allocate semantics).
+//
+// Under these restrictions the data cache is formally identical to the
+// instruction cache — an address stream per block — so the Must/May/
+// persistence analyses, the SRB analysis, the FMM delta machinery and the
+// penalty-distribution pipeline are reused as-is on a *data* reference
+// map. Both caches fail independently (disjoint SRAM arrays), so the
+// combined penalty is the convolution of the two penalty distributions and
+// the combined fault-free WCET is a single IPET/tree maximization over the
+// summed cost models.
+#pragma once
+
+#include <optional>
+
+#include "cache/cache_config.hpp"
+#include "cache/references.hpp"
+#include "core/pwcet_analyzer.hpp"
+#include "cfg/program.hpp"
+#include "fault/fault_model.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "wcet/fmm.hpp"
+
+namespace pwcet {
+
+/// Extracts the per-block *data* line references (analogue of
+/// extract_references for instruction fetches). Consecutive same-line
+/// loads within a block merge, mirroring spatial locality.
+ReferenceMap extract_data_references(const ControlFlowGraph& cfg,
+                                     const CacheConfig& dcache);
+
+/// Total data accesses recorded for a block.
+std::uint64_t block_loads(const ControlFlowGraph& cfg, BlockId b);
+
+/// Combined I+D pWCET analysis. The instruction and data caches may have
+/// different geometries; each gets its own FMM bundle; penalties convolve.
+class CombinedPwcetAnalyzer {
+ public:
+  CombinedPwcetAnalyzer(const Program& program, const CacheConfig& icache,
+                        const CacheConfig& dcache,
+                        const PwcetOptions& options = {});
+
+  /// Fault-free WCET including both caches' miss contributions.
+  Cycles fault_free_wcet() const { return fault_free_wcet_; }
+
+  /// pWCET with the same mechanism deployed on both caches.
+  PwcetResult analyze(const FaultModel& faults, Mechanism mechanism) const;
+
+  /// pWCET with distinct mechanisms per cache (e.g. RW on the I-cache,
+  /// SRB on the D-cache — a cost-conscious mixed deployment).
+  PwcetResult analyze_mixed(const FaultModel& faults, Mechanism icache_mech,
+                            Mechanism dcache_mech) const;
+
+  const FmmBundle& icache_fmm() const { return ifmm_; }
+  const FmmBundle& dcache_fmm() const { return dfmm_; }
+
+ private:
+  DiscreteDistribution penalty_of(const FmmBundle& fmm,
+                                  const CacheConfig& config,
+                                  const FaultModel& faults,
+                                  Mechanism mechanism) const;
+
+  const Program& program_;
+  CacheConfig icache_;
+  CacheConfig dcache_;
+  PwcetOptions options_;
+  ReferenceMap irefs_;
+  ReferenceMap drefs_;
+  Cycles fault_free_wcet_ = 0;
+  FmmBundle ifmm_;
+  FmmBundle dfmm_;
+};
+
+}  // namespace pwcet

@@ -1,0 +1,29 @@
+#include "fault/fault_map.hpp"
+
+namespace pwcet {
+
+FaultMap FaultMap::sample(const CacheConfig& config, Probability pbf,
+                          Rng& rng) {
+  FaultMap map(config.sets, config.ways);
+  for (SetIndex s = 0; s < config.sets; ++s)
+    for (std::uint32_t w = 0; w < config.ways; ++w)
+      if (rng.next_bernoulli(pbf)) map.set_faulty(s, w, true);
+  return map;
+}
+
+FaultMap FaultMap::with_faulty_ways(const CacheConfig& config, SetIndex s,
+                                    std::uint32_t faulty_ways) {
+  PWCET_EXPECTS(faulty_ways <= config.ways);
+  FaultMap map(config.sets, config.ways);
+  for (std::uint32_t w = 0; w < faulty_ways; ++w)
+    map.set_faulty(s, w, true);
+  return map;
+}
+
+std::uint32_t FaultMap::faulty_count(SetIndex s) const {
+  std::uint32_t count = 0;
+  for (std::uint32_t w = 0; w < ways_; ++w) count += is_faulty(s, w);
+  return count;
+}
+
+}  // namespace pwcet

@@ -1,0 +1,66 @@
+// Concrete assignments of permanent faults to cache blocks, used by the
+// cycle-accurate simulator and the Monte-Carlo validation/MBPTA pipelines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace pwcet {
+
+/// Which physical blocks of the cache are permanently faulty. The map is
+/// mechanism-agnostic: hardware semantics (RW masking way 0, SRB lookups)
+/// are applied by the simulator.
+class FaultMap {
+ public:
+  FaultMap(std::uint32_t sets, std::uint32_t ways)
+      : sets_(sets), ways_(ways), faulty_(std::size_t{sets} * ways, 0) {}
+
+  /// Fault-free map.
+  static FaultMap none(const CacheConfig& config) {
+    return FaultMap(config.sets, config.ways);
+  }
+
+  /// Independent Bernoulli(pbf) faults per block (paper: random uncorrelated
+  /// cell faults => random block faults).
+  static FaultMap sample(const CacheConfig& config, Probability pbf,
+                         Rng& rng);
+
+  /// Map with exactly `faulty_ways` faulty blocks in set `s` (positions are
+  /// irrelevant under LRU, §II-A; the first ways are used).
+  static FaultMap with_faulty_ways(const CacheConfig& config, SetIndex s,
+                                   std::uint32_t faulty_ways);
+
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+  bool is_faulty(SetIndex s, std::uint32_t way) const {
+    return faulty_[index(s, way)] != 0;
+  }
+  void set_faulty(SetIndex s, std::uint32_t way, bool faulty) {
+    faulty_[index(s, way)] = faulty ? 1 : 0;
+  }
+
+  /// Number of faulty blocks in a set.
+  std::uint32_t faulty_count(SetIndex s) const;
+
+  /// Usable associativity of a set given the mechanism-independent map.
+  std::uint32_t usable_ways(SetIndex s) const {
+    return ways_ - faulty_count(s);
+  }
+
+ private:
+  std::size_t index(SetIndex s, std::uint32_t way) const {
+    PWCET_EXPECTS(s < sets_ && way < ways_);
+    return std::size_t{s} * ways_ + way;
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<std::uint8_t> faulty_;
+};
+
+}  // namespace pwcet

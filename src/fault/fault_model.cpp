@@ -1,0 +1,36 @@
+#include "fault/fault_model.hpp"
+
+#include <cmath>
+
+namespace pwcet {
+
+std::string mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kNone:
+      return "none";
+    case Mechanism::kReliableWay:
+      return "RW";
+    case Mechanism::kSharedReliableBuffer:
+      return "SRB";
+  }
+  return "?";
+}
+
+Probability FaultModel::block_failure_probability(
+    const CacheConfig& config) const {
+  // 1 - (1-p)^K = -expm1(K * log1p(-p)): exact to double precision even for
+  // pfail ~ 1e-13 where the naive form loses all significant digits.
+  const double k = static_cast<double>(config.block_bits());
+  return -std::expm1(k * std::log1p(-pfail_));
+}
+
+std::vector<Probability> FaultModel::way_failure_pmf(
+    const CacheConfig& config, Mechanism mechanism) const {
+  const Probability pbf = block_failure_probability(config);
+  const unsigned trials = (mechanism == Mechanism::kReliableWay)
+                              ? config.ways - 1
+                              : config.ways;
+  return binomial_pmf_vector(trials, pbf);
+}
+
+}  // namespace pwcet

@@ -1,0 +1,51 @@
+// Permanent-fault model of the paper (§II-A) and the reliability mechanisms
+// (§III-A): per-bit failure probability pfail, block failure probability
+// pbf = 1 - (1-pfail)^K (Eq. 1), and the per-set faulty-way distribution
+// pwf: Binomial(W, pbf) without protection / with SRB (Eq. 2) and
+// Binomial(W-1, pbf) with the reliable way (Eq. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "prob/binomial.hpp"
+#include "support/types.hpp"
+
+namespace pwcet {
+
+/// Hardware configuration under analysis (paper §III-A).
+enum class Mechanism {
+  kNone,                  ///< unprotected cache (baseline of [1])
+  kReliableWay,           ///< RW: way 0 of every set is hardened
+  kSharedReliableBuffer,  ///< SRB: one hardened line-sized buffer, used
+                          ///< only when the referenced set is fully faulty
+};
+
+/// Human-readable mechanism name ("none" / "RW" / "SRB").
+std::string mechanism_name(Mechanism m);
+
+/// Fault model parameterized by the SRAM cell failure probability.
+class FaultModel {
+ public:
+  explicit FaultModel(Probability pfail) : pfail_(pfail) {
+    PWCET_EXPECTS(pfail >= 0.0 && pfail <= 1.0);
+  }
+
+  Probability pfail() const { return pfail_; }
+
+  /// Eq. (1): probability that a block of K bits has at least one faulty
+  /// cell. Computed via expm1/log1p to stay accurate for tiny pfail.
+  Probability block_failure_probability(const CacheConfig& config) const;
+
+  /// pwf(w) for w = 0..W (Eq. 2) or w = 0..W-1 (Eq. 3, RW).
+  /// With RW the returned vector has W entries (a fully faulty set is
+  /// impossible); otherwise W+1 entries.
+  std::vector<Probability> way_failure_pmf(const CacheConfig& config,
+                                           Mechanism mechanism) const;
+
+ private:
+  Probability pfail_;
+};
+
+}  // namespace pwcet

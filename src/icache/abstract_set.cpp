@@ -1,0 +1,127 @@
+#include "icache/abstract_set.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+namespace {
+
+std::vector<AgedLine>::const_iterator find_line(
+    const std::vector<AgedLine>& lines, LineAddress line) {
+  return std::lower_bound(lines.begin(), lines.end(), line,
+                          [](const AgedLine& e, LineAddress l) {
+                            return e.line < l;
+                          });
+}
+
+}  // namespace
+
+std::uint32_t MustState::age_of(LineAddress line, std::uint32_t absent) const {
+  const auto it = find_line(lines_, line);
+  return (it != lines_.end() && it->line == line) ? it->age : absent;
+}
+
+void MustState::access(LineAddress line, std::uint32_t associativity) {
+  PWCET_EXPECTS(associativity > 0);
+  // Maximum age the accessed line could have had; if untracked, it may have
+  // been anywhere (or absent), which ages every tracked line.
+  const std::uint32_t old_age = age_of(line, associativity);
+  std::vector<AgedLine> next;
+  next.reserve(lines_.size() + 1);
+  for (const AgedLine& e : lines_) {
+    if (e.line == line) continue;
+    // Lines guaranteed younger than the accessed line's worst position age
+    // by one; lines at or beyond it keep their bound.
+    const std::uint32_t age = (e.age < old_age) ? e.age + 1 : e.age;
+    if (age < associativity) next.push_back({e.line, age});
+  }
+  next.push_back({line, 0});
+  std::sort(next.begin(), next.end(),
+            [](const AgedLine& a, const AgedLine& b) {
+              return a.line < b.line;
+            });
+  lines_ = std::move(next);
+}
+
+bool MustState::contains(LineAddress line) const {
+  const auto it = find_line(lines_, line);
+  return it != lines_.end() && it->line == line;
+}
+
+MustState MustState::join(const MustState& a, const MustState& b) {
+  MustState out;
+  out.lines_.reserve(std::min(a.lines_.size(), b.lines_.size()));
+  // Sorted intersection with max age.
+  auto ia = a.lines_.begin();
+  auto ib = b.lines_.begin();
+  while (ia != a.lines_.end() && ib != b.lines_.end()) {
+    if (ia->line < ib->line) {
+      ++ia;
+    } else if (ib->line < ia->line) {
+      ++ib;
+    } else {
+      out.lines_.push_back({ia->line, std::max(ia->age, ib->age)});
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+std::uint32_t MayState::age_of(LineAddress line, std::uint32_t absent) const {
+  const auto it = find_line(lines_, line);
+  return (it != lines_.end() && it->line == line) ? it->age : absent;
+}
+
+void MayState::access(LineAddress line, std::uint32_t associativity) {
+  PWCET_EXPECTS(associativity > 0);
+  // Minimum age the accessed line could have had; `associativity` encodes
+  // "may have been absent", in which case every resident line must age.
+  const std::uint32_t old_age = age_of(line, associativity);
+  std::vector<AgedLine> next;
+  next.reserve(lines_.size() + 1);
+  for (const AgedLine& e : lines_) {
+    if (e.line == line) continue;
+    // A line with min age <= the accessed line's min age cannot be proven
+    // older than the accessed line in every concretization, so its minimum
+    // age increases; strictly older lines keep their bound.
+    const std::uint32_t age = (e.age <= old_age) ? e.age + 1 : e.age;
+    if (age < associativity) next.push_back({e.line, age});
+  }
+  next.push_back({line, 0});
+  std::sort(next.begin(), next.end(),
+            [](const AgedLine& a, const AgedLine& b) {
+              return a.line < b.line;
+            });
+  lines_ = std::move(next);
+}
+
+bool MayState::contains(LineAddress line) const {
+  const auto it = find_line(lines_, line);
+  return it != lines_.end() && it->line == line;
+}
+
+MayState MayState::join(const MayState& a, const MayState& b) {
+  MayState out;
+  out.lines_.reserve(a.lines_.size() + b.lines_.size());
+  // Sorted union with min age.
+  auto ia = a.lines_.begin();
+  auto ib = b.lines_.begin();
+  while (ia != a.lines_.end() || ib != b.lines_.end()) {
+    if (ib == b.lines_.end() || (ia != a.lines_.end() && ia->line < ib->line)) {
+      out.lines_.push_back(*ia);
+      ++ia;
+    } else if (ia == a.lines_.end() || ib->line < ia->line) {
+      out.lines_.push_back(*ib);
+      ++ib;
+    } else {
+      out.lines_.push_back({ia->line, std::min(ia->age, ib->age)});
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace pwcet

@@ -1,0 +1,32 @@
+// Cache Hit/Miss Classifications (paper §II-B.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/basic_block.hpp"
+
+namespace pwcet {
+
+/// Worst-case behaviour of one line reference.
+enum class Chmc : std::uint8_t {
+  kAlwaysHit,      ///< guaranteed hit on every execution (Must analysis)
+  kFirstMiss,      ///< at most one miss per entry of its scope (Persistence)
+  kAlwaysMiss,     ///< guaranteed absent (May analysis)
+  kNotClassified,  ///< none of the above; costed as always-miss (§IV-A)
+};
+
+/// Classification of one reference. For kFirstMiss, `scope` is the
+/// *outermost* loop in which the line is persistent; kNoLoop means the whole
+/// program (at most one miss over the entire execution).
+struct RefClass {
+  Chmc chmc = Chmc::kNotClassified;
+  LoopId scope = kNoLoop;
+
+  friend bool operator==(const RefClass&, const RefClass&) = default;
+};
+
+/// Per block, per line-reference classification (parallel to ReferenceMap).
+using ClassificationMap = std::vector<std::vector<RefClass>>;
+
+}  // namespace pwcet

@@ -1,0 +1,77 @@
+#include "icache/srb_analysis.hpp"
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+namespace {
+
+/// Lattice over "line held by the SRB before a program point":
+/// kBottom (unreached) < one concrete line < kTop (unknown / any).
+struct SrbState {
+  enum class Kind : std::uint8_t { kBottom, kLine, kTop };
+  Kind kind = Kind::kBottom;
+  LineAddress line = 0;
+
+  static SrbState bottom() { return {}; }
+  static SrbState top() { return {Kind::kTop, 0}; }
+  static SrbState of(LineAddress l) { return {Kind::kLine, l}; }
+
+  friend bool operator==(const SrbState&, const SrbState&) = default;
+};
+
+SrbState join(const SrbState& a, const SrbState& b) {
+  if (a.kind == SrbState::Kind::kBottom) return b;
+  if (b.kind == SrbState::Kind::kBottom) return a;
+  if (a.kind == SrbState::Kind::kLine && b.kind == SrbState::Kind::kLine &&
+      a.line == b.line)
+    return a;
+  return SrbState::top();
+}
+
+}  // namespace
+
+SrbHitMap analyze_srb(const ControlFlowGraph& cfg, const ReferenceMap& refs) {
+  const std::size_t n = cfg.block_count();
+  std::vector<SrbState> in(n), out(n);
+  // The SRB is invalid at task start: model as Top (no hit provable).
+  in[size_t(cfg.entry())] = SrbState::top();
+
+  auto transfer = [&](BlockId b, SrbState state) {
+    for (const LineRef& r : refs[size_t(b)]) state = SrbState::of(r.line);
+    return state;
+  };
+
+  const auto order = cfg.reverse_post_order();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : order) {
+      if (b != cfg.entry()) {
+        SrbState j = SrbState::bottom();
+        for (EdgeId e : cfg.block(b).in_edges)
+          j = join(j, out[size_t(cfg.edge(e).source)]);
+        in[size_t(b)] = j;
+      }
+      SrbState new_out = transfer(b, in[size_t(b)]);
+      if (!(new_out == out[size_t(b)])) {
+        out[size_t(b)] = new_out;
+        changed = true;
+      }
+    }
+  }
+
+  SrbHitMap hits(n);
+  for (BlockId b = 0; static_cast<std::size_t>(b) < n; ++b) {
+    hits[size_t(b)].assign(refs[size_t(b)].size(), 0);
+    SrbState state = in[size_t(b)];
+    for (std::size_t i = 0; i < refs[size_t(b)].size(); ++i) {
+      const LineRef& r = refs[size_t(b)][i];
+      hits[size_t(b)][i] =
+          (state == SrbState::of(r.line)) ? 1 : 0;
+      state = SrbState::of(r.line);
+    }
+  }
+  return hits;
+}
+
+}  // namespace pwcet

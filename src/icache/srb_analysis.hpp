@@ -1,0 +1,28 @@
+// Static analysis of the Shared Reliable Buffer (paper §III-B.2).
+//
+// The SRB is analyzed "as if it was the only cache in the system": a
+// one-line fully-associative cache through which *every* reference (any
+// set) is conservatively assumed to pass. A reference is SRB-always-hit iff
+// on every path the immediately preceding line reference is to the same
+// line — exactly the paper's conservative reload assumption (in the stream
+// a1 a2 b1 b2 a1 a2, the second a1 is not classified because b2 may have
+// reloaded the SRB). This captures the spatial locality the SRB preserves
+// when an entire cache set is faulty, and is sound in the presence of
+// multiple fully faulty sets sharing the single buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/references.hpp"
+#include "cfg/cfg.hpp"
+
+namespace pwcet {
+
+/// Per block/ref: 1 iff the reference is guaranteed to hit in the SRB
+/// whenever it is served by the SRB.
+using SrbHitMap = std::vector<std::vector<std::uint8_t>>;
+
+SrbHitMap analyze_srb(const ControlFlowGraph& cfg, const ReferenceMap& refs);
+
+}  // namespace pwcet

@@ -1,0 +1,105 @@
+#include "ilp/ilp_solver.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "ilp/simplex.hpp"
+#include "support/contracts.hpp"
+
+namespace pwcet {
+namespace {
+
+/// Returns the first integral variable with a fractional relaxation value.
+std::optional<VarId> fractional_variable(const LinearProgram& lp,
+                                         const LpSolution& sol, double eps) {
+  for (VarId v = 0; static_cast<std::size_t>(v) < lp.variable_count(); ++v) {
+    if (!lp.is_integral(v)) continue;
+    const double x = sol.values[size_t(v)];
+    if (std::abs(x - std::round(x)) > eps) return v;
+  }
+  return std::nullopt;
+}
+
+struct BnbState {
+  const IlpOptions* options = nullptr;
+  std::size_t nodes = 0;
+  bool node_budget_hit = false;
+  std::optional<LpSolution> incumbent;
+};
+
+void branch(LinearProgram lp, BnbState& st) {
+  if (++st.nodes > st.options->max_nodes) {
+    st.node_budget_hit = true;
+    return;
+  }
+  const LpSolution relax = solve_lp(lp);
+  if (relax.status == SolveStatus::kUnbounded) {
+    // Propagate unboundedness by storing a sentinel incumbent.
+    LpSolution sol;
+    sol.status = SolveStatus::kUnbounded;
+    st.incumbent = sol;
+    return;
+  }
+  if (relax.status != SolveStatus::kOptimal) return;  // pruned (infeasible)
+  if (st.incumbent && st.incumbent->status == SolveStatus::kOptimal &&
+      relax.objective <= st.incumbent->objective +
+                             st.options->integrality_eps) {
+    return;  // bound: cannot beat the incumbent
+  }
+  const auto frac = fractional_variable(lp, relax, st.options->integrality_eps);
+  if (!frac) {
+    if (!st.incumbent || st.incumbent->status != SolveStatus::kOptimal ||
+        relax.objective > st.incumbent->objective)
+      st.incumbent = relax;
+    return;
+  }
+  const double x = relax.values[size_t(*frac)];
+  const double floor_x = std::floor(x);
+
+  // Branch x <= floor(x).
+  {
+    LinearProgram down = lp;
+    LinearConstraint c;
+    c.terms = {{*frac, 1.0}};
+    c.sense = ConstraintSense::kLe;
+    c.rhs = floor_x;
+    down.add_constraint(std::move(c));
+    branch(std::move(down), st);
+    if (st.incumbent && st.incumbent->status == SolveStatus::kUnbounded)
+      return;
+  }
+  // Branch x >= ceil(x).
+  {
+    LinearProgram up = lp;
+    LinearConstraint c;
+    c.terms = {{*frac, 1.0}};
+    c.sense = ConstraintSense::kGe;
+    c.rhs = floor_x + 1.0;
+    up.add_constraint(std::move(c));
+    branch(std::move(up), st);
+  }
+}
+
+}  // namespace
+
+LpSolution solve_ilp(const LinearProgram& lp, const IlpOptions& options) {
+  // Fast path: integral relaxation.
+  const LpSolution relax = solve_lp(lp);
+  if (relax.status != SolveStatus::kOptimal) return relax;
+  if (!fractional_variable(lp, relax, options.integrality_eps)) return relax;
+
+  BnbState st;
+  st.options = &options;
+  branch(lp, st);
+  if (st.incumbent) return *st.incumbent;
+  LpSolution sol;
+  sol.status = st.node_budget_hit ? SolveStatus::kIterationLimit
+                                  : SolveStatus::kInfeasible;
+  return sol;
+}
+
+LpSolution solve_lp_relaxation_bound(const LinearProgram& lp) {
+  return solve_lp(lp);
+}
+
+}  // namespace pwcet

@@ -1,0 +1,30 @@
+// Branch-and-bound MILP solver on top of the simplex relaxation.
+//
+// IPET constraint matrices are network-flow-like and almost always have
+// integral LP optima; branch and bound exists for exactness guarantees and
+// for adversarial test models. For WCET purposes the LP relaxation optimum
+// is itself a *sound* upper bound (relaxing integrality can only increase a
+// maximum), which `solve_lp_relaxation_bound` exposes.
+#pragma once
+
+#include <cstdint>
+
+#include "ilp/linear_program.hpp"
+
+namespace pwcet {
+
+struct IlpOptions {
+  /// Maximum branch-and-bound nodes before giving up (kIterationLimit).
+  std::size_t max_nodes = 100000;
+  /// Integrality tolerance for relaxation values.
+  double integrality_eps = 1e-6;
+};
+
+/// Exact mixed-integer maximization via depth-first branch and bound.
+LpSolution solve_ilp(const LinearProgram& lp, const IlpOptions& options = {});
+
+/// Sound upper bound on the ILP maximum: LP relaxation optimum, or the
+/// exact value when the relaxation happens to be integral.
+LpSolution solve_lp_relaxation_bound(const LinearProgram& lp);
+
+}  // namespace pwcet

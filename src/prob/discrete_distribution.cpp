@@ -1,0 +1,194 @@
+#include "prob/discrete_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+namespace {
+
+constexpr Probability kMassTolerance = 1e-9;
+
+std::vector<ProbabilityAtom> normalize_atoms(
+    std::vector<ProbabilityAtom> atoms) {
+  std::sort(atoms.begin(), atoms.end(),
+            [](const ProbabilityAtom& a, const ProbabilityAtom& b) {
+              return a.value < b.value;
+            });
+  std::vector<ProbabilityAtom> merged;
+  merged.reserve(atoms.size());
+  for (const auto& atom : atoms) {
+    PWCET_EXPECTS(atom.probability >= 0.0);
+    if (atom.probability == 0.0) continue;
+    if (!merged.empty() && merged.back().value == atom.value) {
+      merged.back().probability += atom.probability;
+    } else {
+      merged.push_back(atom);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+DiscreteDistribution::DiscreteDistribution()
+    : atoms_{{/*value=*/0, /*probability=*/1.0}} {}
+
+DiscreteDistribution DiscreteDistribution::from_atoms(
+    std::vector<ProbabilityAtom> atoms) {
+  auto merged = normalize_atoms(std::move(atoms));
+  PWCET_EXPECTS(!merged.empty());
+  Probability mass = 0.0;
+  for (const auto& a : merged) mass += a.probability;
+  PWCET_EXPECTS(std::abs(mass - 1.0) <= kMassTolerance);
+  return DiscreteDistribution(std::move(merged));
+}
+
+DiscreteDistribution DiscreteDistribution::degenerate(Cycles value) {
+  return DiscreteDistribution({{value, 1.0}});
+}
+
+Cycles DiscreteDistribution::min_value() const { return atoms_.front().value; }
+
+Cycles DiscreteDistribution::max_value() const { return atoms_.back().value; }
+
+Probability DiscreteDistribution::total_mass() const {
+  Probability mass = 0.0;
+  for (const auto& a : atoms_) mass += a.probability;
+  return mass;
+}
+
+double DiscreteDistribution::mean() const {
+  double m = 0.0;
+  for (const auto& a : atoms_)
+    m += static_cast<double>(a.value) * a.probability;
+  return m;
+}
+
+Probability DiscreteDistribution::exceedance(Cycles value) const {
+  // Sum the tail from the largest value down so tiny tail atoms are not
+  // absorbed by a large head mass.
+  Probability tail = 0.0;
+  for (auto it = atoms_.rbegin(); it != atoms_.rend(); ++it) {
+    if (it->value <= value) break;
+    tail += it->probability;
+  }
+  return tail;
+}
+
+Cycles DiscreteDistribution::quantile_exceedance(Probability p) const {
+  PWCET_EXPECTS(p >= 0.0);
+  // Let tail_k = P[X >= value_k]. The smallest v with P[X > v] <= p is
+  // value_k for the largest k with tail_k > p: exceedance(value_k) drops to
+  // tail_{k+1} <= p while any v < value_k still has exceedance >= tail_k.
+  // Walk from the top accumulating tail mass until it first exceeds p.
+  Probability tail = 0.0;
+  for (auto it = atoms_.rbegin(); it != atoms_.rend(); ++it) {
+    tail += it->probability;
+    if (tail > p) return it->value;
+  }
+  // Total mass <= p: every value (even below the minimum) is exceeded with
+  // probability <= p; the minimum of the support is a well-defined answer.
+  return atoms_.front().value;
+}
+
+DiscreteDistribution DiscreteDistribution::convolve(
+    const DiscreteDistribution& other) const {
+  std::map<Cycles, Probability> sums;
+  for (const auto& a : atoms_)
+    for (const auto& b : other.atoms_)
+      sums[a.value + b.value] += a.probability * b.probability;
+  std::vector<ProbabilityAtom> atoms;
+  atoms.reserve(sums.size());
+  for (const auto& [value, prob] : sums)
+    if (prob > 0.0) atoms.push_back({value, prob});
+  return DiscreteDistribution(std::move(atoms));
+}
+
+DiscreteDistribution DiscreteDistribution::coalesce_up(
+    std::size_t max_points) const {
+  PWCET_EXPECTS(max_points >= 2);
+  if (atoms_.size() <= max_points) return *this;
+
+  // Each atom i (except the last) can be merged into its upward neighbour
+  // at cost probability(i) * (value(i+1) - value(i)) — the probability mass
+  // transported upward. Select the (n - max_points) cheapest merges, then
+  // sweep once: runs of marked atoms roll their mass up into the next
+  // unmarked atom. Mass only ever moves to larger values, so the result
+  // stochastically dominates the input (sound for WCET exceedance bounds).
+  const std::size_t n = atoms_.size();
+  const std::size_t to_remove = n - max_points;
+
+  std::vector<std::size_t> order(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double cost_a =
+        atoms_[a].probability *
+        static_cast<double>(atoms_[a + 1].value - atoms_[a].value);
+    const double cost_b =
+        atoms_[b].probability *
+        static_cast<double>(atoms_[b + 1].value - atoms_[b].value);
+    return cost_a < cost_b;
+  });
+
+  std::vector<bool> merged_up(n, false);
+  for (std::size_t i = 0; i < to_remove; ++i) merged_up[order[i]] = true;
+
+  std::vector<ProbabilityAtom> atoms;
+  atoms.reserve(max_points);
+  Probability carried = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (merged_up[i]) {
+      carried += atoms_[i].probability;
+    } else {
+      atoms.push_back({atoms_[i].value, atoms_[i].probability + carried});
+      carried = 0.0;
+    }
+  }
+  PWCET_ASSERT(carried == 0.0);  // the last atom is never marked
+  return DiscreteDistribution(std::move(atoms));
+}
+
+DiscreteDistribution DiscreteDistribution::scale_values(Cycles factor) const {
+  PWCET_EXPECTS(factor >= 0);
+  std::vector<ProbabilityAtom> atoms = atoms_;
+  for (auto& a : atoms) a.value *= factor;
+  return DiscreteDistribution(normalize_atoms(std::move(atoms)));
+}
+
+DiscreteDistribution DiscreteDistribution::shift(Cycles offset) const {
+  std::vector<ProbabilityAtom> atoms = atoms_;
+  for (auto& a : atoms) a.value += offset;
+  return DiscreteDistribution(std::move(atoms));
+}
+
+bool DiscreteDistribution::dominates(const DiscreteDistribution& other,
+                                     Probability tolerance) const {
+  // Check at every support point of either distribution (the exceedance
+  // functions are right-continuous step functions, so support points and
+  // the points just before them cover all discontinuities).
+  std::vector<Cycles> checkpoints;
+  for (const auto& a : atoms_) {
+    checkpoints.push_back(a.value);
+    checkpoints.push_back(a.value - 1);
+  }
+  for (const auto& a : other.atoms_) {
+    checkpoints.push_back(a.value);
+    checkpoints.push_back(a.value - 1);
+  }
+  for (Cycles v : checkpoints)
+    if (exceedance(v) + tolerance < other.exceedance(v)) return false;
+  return true;
+}
+
+DiscreteDistribution convolve_all(
+    const std::vector<DiscreteDistribution>& parts, std::size_t max_points) {
+  DiscreteDistribution acc;
+  for (const auto& part : parts)
+    acc = acc.convolve(part).coalesce_up(max_points);
+  return acc;
+}
+
+}  // namespace pwcet

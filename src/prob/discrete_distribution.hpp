@@ -1,0 +1,98 @@
+// Discrete probability distributions over integer cycle penalties.
+//
+// The pWCET analysis represents the fault-induced penalty of each cache set
+// as a small discrete distribution (paper Fig. 1.b) and combines independent
+// sets by convolution. Supports are exact 64-bit integers; probabilities are
+// doubles. To keep the support size bounded across 10s of convolutions, a
+// *conservative coalescing* step merges points by moving probability mass
+// onto the larger value only, so the complementary CDF (exceedance function)
+// of the stored distribution is always a pointwise upper bound of the exact
+// one — the sound direction for WCET estimation.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace pwcet {
+
+/// One atom of a discrete distribution.
+struct ProbabilityAtom {
+  Cycles value = 0;
+  Probability probability = 0.0;
+
+  friend bool operator==(const ProbabilityAtom&,
+                         const ProbabilityAtom&) = default;
+};
+
+/// Discrete distribution with integer support, kept sorted by value.
+class DiscreteDistribution {
+ public:
+  /// The distribution concentrated at zero (neutral element of convolution).
+  DiscreteDistribution();
+
+  /// Builds from atoms; merges duplicate values, drops zero-probability
+  /// atoms, and checks the total mass is 1 within `mass_tolerance`.
+  static DiscreteDistribution from_atoms(std::vector<ProbabilityAtom> atoms);
+
+  /// Single-point distribution.
+  static DiscreteDistribution degenerate(Cycles value);
+
+  const std::vector<ProbabilityAtom>& atoms() const { return atoms_; }
+  std::size_t size() const { return atoms_.size(); }
+  Cycles min_value() const;
+  Cycles max_value() const;
+
+  /// Total probability mass (should be ~1; convolution preserves it).
+  Probability total_mass() const;
+
+  /// Mean of the distribution.
+  double mean() const;
+
+  /// P[X > value] (complementary CDF, the exceedance function of Fig. 3).
+  Probability exceedance(Cycles value) const;
+
+  /// Smallest value v such that P[X > v] <= p. This is the pWCET query:
+  /// "the value the random variable exceeds with probability at most p".
+  Cycles quantile_exceedance(Probability p) const;
+
+  /// Convolution with an independent distribution (sum of the variables).
+  DiscreteDistribution convolve(const DiscreteDistribution& other) const;
+
+  /// Conservatively reduces the support to at most `max_points` atoms by
+  /// merging adjacent atoms into the one with the *larger* value. The result
+  /// stochastically dominates the original (exceedance is >= pointwise).
+  DiscreteDistribution coalesce_up(std::size_t max_points) const;
+
+  /// Scales every support value by a non-negative factor (e.g. converting a
+  /// miss count distribution into cycles via the miss penalty).
+  DiscreteDistribution scale_values(Cycles factor) const;
+
+  /// Shifts every support value by a constant (e.g. adding the fault-free
+  /// WCET to a penalty distribution).
+  DiscreteDistribution shift(Cycles offset) const;
+
+  /// True if `this` stochastically dominates `other`:
+  /// exceedance_this(v) >= exceedance_other(v) - tolerance for all v.
+  bool dominates(const DiscreteDistribution& other,
+                 Probability tolerance = 1e-12) const;
+
+  friend bool operator==(const DiscreteDistribution&,
+                         const DiscreteDistribution&) = default;
+
+ private:
+  explicit DiscreteDistribution(std::vector<ProbabilityAtom> atoms)
+      : atoms_(std::move(atoms)) {}
+
+  // Sorted by value, strictly increasing, all probabilities > 0.
+  std::vector<ProbabilityAtom> atoms_;
+};
+
+/// Convolves a whole collection, coalescing intermediate results to
+/// `max_points` after each step (the per-set penalty pipeline of Fig. 1.b).
+DiscreteDistribution convolve_all(
+    const std::vector<DiscreteDistribution>& parts, std::size_t max_points);
+
+}  // namespace pwcet

@@ -1,0 +1,88 @@
+#include "sim/cache_sim.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+
+CacheSimulator::CacheSimulator(const CacheConfig& config, FaultMap faults,
+                               Mechanism mechanism)
+    : config_(config),
+      faults_(std::move(faults)),
+      mechanism_(mechanism),
+      lru_(config.sets) {
+  config_.validate();
+  PWCET_EXPECTS(faults_.sets() == config.sets &&
+                faults_.ways() == config.ways);
+  stats_.misses_per_set.assign(config.sets, 0);
+}
+
+std::uint32_t CacheSimulator::usable_ways(SetIndex s) const {
+  std::uint32_t usable = 0;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const bool masked_by_rw =
+        mechanism_ == Mechanism::kReliableWay && w == 0;
+    if (masked_by_rw || !faults_.is_faulty(s, w)) ++usable;
+  }
+  return usable;
+}
+
+bool CacheSimulator::lookup_lru(SetIndex s, LineAddress line) {
+  auto& stack = lru_[s];
+  const auto it = std::find(stack.begin(), stack.end(), line);
+  if (it != stack.end()) {
+    // Hit: move to MRU position.
+    stack.erase(it);
+    stack.insert(stack.begin(), line);
+    return true;
+  }
+  // Miss: insert at MRU, evict LRU if the usable capacity is exceeded.
+  stack.insert(stack.begin(), line);
+  if (stack.size() > usable_ways(s)) stack.pop_back();
+  return false;
+}
+
+bool CacheSimulator::fetch(Address address) {
+  const LineAddress line = config_.line_of(address);
+  const SetIndex s = config_.set_of_line(line);
+  const std::uint32_t usable = usable_ways(s);
+
+  bool hit = false;
+  if (usable > 0) {
+    hit = lookup_lru(s, line);
+  } else if (mechanism_ == Mechanism::kSharedReliableBuffer) {
+    // Set fully faulty: the SRB is consulted and refilled on miss.
+    hit = srb_valid_ && srb_line_ == line;
+    if (hit) {
+      ++stats_.srb_hits;
+    } else {
+      srb_valid_ = true;
+      srb_line_ = line;
+    }
+  }
+  // kNone with a fully faulty set: unconditional miss (hit stays false).
+
+  ++stats_.fetches;
+  stats_.cycles += config_.hit_latency;
+  if (!hit) {
+    ++stats_.misses;
+    ++stats_.misses_per_set[s];
+    stats_.cycles += config_.miss_penalty;
+  }
+  return hit;
+}
+
+void CacheSimulator::run(const std::vector<Address>& trace) {
+  for (Address a : trace) fetch(a);
+}
+
+SimStats simulate_trace(const CacheConfig& config, const FaultMap& faults,
+                        Mechanism mechanism,
+                        const std::vector<Address>& trace) {
+  CacheSimulator sim(config, faults, mechanism);
+  sim.run(trace);
+  return sim.stats();
+}
+
+}  // namespace pwcet

@@ -1,0 +1,144 @@
+#include "sim/path.hpp"
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+namespace {
+
+/// Branch / iteration policy for one walk.
+struct WalkPolicy {
+  Rng* rng = nullptr;       // null => deterministic choices
+  bool full_loops = false;  // loops run to bound
+  bool heavy_alts = false;  // pick the fetch-heavier arm
+  const std::vector<std::uint64_t>* weights = nullptr;  // memoized by heavy_walk
+};
+
+std::uint64_t subtree_fetch_weight(const Program& p, TreeId t) {
+  const TreeNode& n = p.tree_node(t);
+  switch (n.kind) {
+    case TreeKind::kLeaf:
+      return p.cfg().block(n.block).instruction_count;
+    case TreeKind::kSeq: {
+      std::uint64_t sum = 0;
+      for (TreeId c : n.children) sum += subtree_fetch_weight(p, c);
+      return sum;
+    }
+    case TreeKind::kAlt: {
+      std::uint64_t best = 0;
+      for (TreeId c : n.children)
+        best = std::max(best, subtree_fetch_weight(p, c));
+      return best;
+    }
+    case TreeKind::kLoop: {
+      const std::uint64_t header = subtree_fetch_weight(p, n.children[0]);
+      const std::uint64_t body = subtree_fetch_weight(p, n.children[1]);
+      const auto b = static_cast<std::uint64_t>(n.bound);
+      return (b + 1) * header + b * body;
+    }
+  }
+  PWCET_ASSERT(false);
+  return 0;
+}
+
+void walk(const Program& p, TreeId t, const WalkPolicy& policy,
+          BlockPath& out) {
+  const TreeNode& n = p.tree_node(t);
+  switch (n.kind) {
+    case TreeKind::kLeaf:
+      out.push_back(n.block);
+      return;
+    case TreeKind::kSeq:
+      for (TreeId c : n.children) walk(p, c, policy, out);
+      return;
+    case TreeKind::kAlt: {
+      std::size_t pick = 0;
+      if (policy.heavy_alts) {
+        PWCET_ASSERT(policy.weights != nullptr);
+        std::uint64_t best = 0;
+        for (std::size_t i = 0; i < n.children.size(); ++i) {
+          const std::uint64_t w = (*policy.weights)[size_t(n.children[i])];
+          if (w > best) {
+            best = w;
+            pick = i;
+          }
+        }
+      } else {
+        PWCET_ASSERT(policy.rng != nullptr);
+        pick = policy.rng->next_below(n.children.size());
+      }
+      walk(p, n.children[pick], policy, out);
+      return;
+    }
+    case TreeKind::kLoop: {
+      std::uint64_t iterations;
+      if (policy.full_loops) {
+        iterations = static_cast<std::uint64_t>(n.bound);
+      } else {
+        PWCET_ASSERT(policy.rng != nullptr);
+        iterations =
+            policy.rng->next_below(static_cast<std::uint64_t>(n.bound) + 1);
+      }
+      // Execution shape: header, then (body, header) per iteration.
+      walk(p, n.children[0], policy, out);
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        walk(p, n.children[1], policy, out);
+        walk(p, n.children[0], policy, out);
+      }
+      return;
+    }
+  }
+  PWCET_ASSERT(false);
+}
+
+}  // namespace
+
+BlockPath random_walk(const Program& program, Rng& rng) {
+  WalkPolicy policy;
+  policy.rng = &rng;
+  BlockPath path;
+  walk(program, program.tree_root(), policy, path);
+  return path;
+}
+
+BlockPath heavy_walk(const Program& program) {
+  // Memoize subtree weights so repeated Alt visits inside loops stay O(1).
+  std::vector<std::uint64_t> weights(program.tree().size());
+  for (std::size_t t = 0; t < program.tree().size(); ++t)
+    weights[t] = subtree_fetch_weight(program, static_cast<TreeId>(t));
+  WalkPolicy policy;
+  policy.full_loops = true;
+  policy.heavy_alts = true;
+  policy.weights = &weights;
+  BlockPath path;
+  walk(program, program.tree_root(), policy, path);
+  return path;
+}
+
+BlockPath full_iteration_walk(const Program& program, Rng& rng) {
+  WalkPolicy policy;
+  policy.rng = &rng;
+  policy.full_loops = true;
+  BlockPath path;
+  walk(program, program.tree_root(), policy, path);
+  return path;
+}
+
+std::vector<Address> fetch_trace(const ControlFlowGraph& cfg,
+                                 const BlockPath& path) {
+  std::vector<Address> trace;
+  std::uint64_t total = 0;
+  for (BlockId b : path) total += cfg.block(b).instruction_count;
+  trace.reserve(total);
+  for (BlockId b : path) {
+    const BasicBlock& block = cfg.block(b);
+    for (std::uint32_t i = 0; i < block.instruction_count; ++i)
+      trace.push_back(block.first_address + i * kInstructionBytes);
+  }
+  return trace;
+}
+
+std::uint64_t heavy_walk_fetch_count(const Program& program) {
+  return subtree_fetch_weight(program, program.tree_root());
+}
+
+}  // namespace pwcet

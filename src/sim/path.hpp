@@ -1,0 +1,40 @@
+// Execution-path generation over the structure tree.
+//
+// The validation tests and the MBPTA module need concrete, semantically
+// valid executions: every generated block path respects branch structure
+// and loop bounds, so any simulated time is a *real* execution time the
+// static bounds must dominate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/program.hpp"
+#include "support/rng.hpp"
+
+namespace pwcet {
+
+/// A concrete execution as a sequence of basic blocks, entry to exit.
+using BlockPath = std::vector<BlockId>;
+
+/// Uniformly random structural walk: each if/else arm is a coin flip, each
+/// loop iterates a uniform number of times in [0, bound].
+BlockPath random_walk(const Program& program, Rng& rng);
+
+/// Adversarial walk: every loop runs to its bound and every branch picks
+/// the arm with the larger fetch weight (a heavy, though not necessarily
+/// time-maximal, path).
+BlockPath heavy_walk(const Program& program);
+
+/// Walk with loops at their bound and branch arms chosen by `rng` — useful
+/// to explore many maximal-iteration paths.
+BlockPath full_iteration_walk(const Program& program, Rng& rng);
+
+/// Expands a block path into the instruction-fetch address trace.
+std::vector<Address> fetch_trace(const ControlFlowGraph& cfg,
+                                 const BlockPath& path);
+
+/// Number of fetches the heavy walk would produce (guards trace sizes).
+std::uint64_t heavy_walk_fetch_count(const Program& program);
+
+}  // namespace pwcet

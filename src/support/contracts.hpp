@@ -1,0 +1,33 @@
+// Lightweight contract checking. Violations indicate programming errors in
+// the toolchain (not bad user input) and abort with a diagnostic, matching
+// the "fail fast on broken invariants" policy used throughout the library.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pwcet::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "pwcet: %s failed: %s (%s:%d)\n", kind, cond, file,
+               line);
+  std::abort();
+}
+
+}  // namespace pwcet::detail
+
+#define PWCET_EXPECTS(cond)                                              \
+  ((cond) ? (void)0                                                      \
+          : ::pwcet::detail::contract_failure("precondition", #cond,     \
+                                              __FILE__, __LINE__))
+
+#define PWCET_ENSURES(cond)                                              \
+  ((cond) ? (void)0                                                      \
+          : ::pwcet::detail::contract_failure("postcondition", #cond,    \
+                                              __FILE__, __LINE__))
+
+#define PWCET_ASSERT(cond)                                               \
+  ((cond) ? (void)0                                                      \
+          : ::pwcet::detail::contract_failure("invariant", #cond,        \
+                                              __FILE__, __LINE__))

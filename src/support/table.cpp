@@ -1,0 +1,62 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PWCET_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PWCET_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    return std::string(w - s.size(), ' ') + s;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += pad(header_[c], width[c]);
+    out += (c + 1 == header_.size()) ? "\n" : "  ";
+  }
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += std::string(width[c], '-');
+    out += (c + 1 == header_.size()) ? "\n" : "  ";
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad(row[c], width[c]);
+      out += (c + 1 == row.size()) ? "\n" : "  ";
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_prob(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1e", value);
+  return buf;
+}
+
+}  // namespace pwcet

@@ -1,0 +1,32 @@
+// Plain-text table formatting used by the benchmark harnesses so that every
+// reproduced paper table/figure prints in a uniform, diff-friendly layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pwcet {
+
+/// Column-aligned ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with right-aligned numeric-looking cells.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing stream state games).
+std::string fmt_double(double value, int precision);
+
+/// Formats a probability in scientific notation (e.g. "1.0e-15").
+std::string fmt_prob(double value);
+
+}  // namespace pwcet

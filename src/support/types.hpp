@@ -1,0 +1,25 @@
+// Fundamental scalar types shared across the pWCET toolchain.
+#pragma once
+
+#include <cstdint>
+
+namespace pwcet {
+
+/// Byte address in the (instruction) address space of the analyzed task.
+using Address = std::uint64_t;
+
+/// Execution time / penalty expressed in processor cycles.
+using Cycles = std::int64_t;
+
+/// Identifier of a cache set.
+using SetIndex = std::uint32_t;
+
+/// Cache tag (line address = address / line_size).
+using LineAddress = std::uint64_t;
+
+/// Probability value in [0, 1]. Double precision is sufficient for the
+/// exceedance levels used in this domain (down to ~1e-300 before underflow,
+/// far below the 1e-15 certification targets).
+using Probability = double;
+
+}  // namespace pwcet

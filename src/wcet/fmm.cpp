@@ -1,0 +1,120 @@
+#include "wcet/fmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "icache/set_analysis.hpp"
+#include "icache/srb_analysis.hpp"
+#include "support/contracts.hpp"
+#include "wcet/tree_engine.hpp"
+
+namespace pwcet {
+namespace {
+
+double maximize_delta(const Program& program, const CostModel& model,
+                      WcetEngine engine, IpetCalculator* ipet) {
+  double value = 0.0;
+  if (engine == WcetEngine::kIlp) {
+    PWCET_EXPECTS(ipet != nullptr);
+    value = ipet->maximize(model).objective;
+  } else {
+    value = tree_maximize(program, model);
+  }
+  // The maximum is usually >= 0 (degrading a set only adds misses), but it
+  // can be genuinely negative in scope-mismatch corner cases: a reference
+  // whose fault-free classification is first-miss in an OUTER loop and
+  // whose degraded classification is first-miss in an inner loop reachable
+  // only through a conditional arm. There, every path's
+  // (degraded - fault-free) expression can be below zero because the
+  // fault-free IPET over-charges those paths even more than the degraded
+  // one. Clamping to zero is sound either way:
+  //   time_faulty(P) <= base(P) + penalty*faulty_expr(P)
+  //                  <= WCET_ff + penalty*max(0, max_Q delta(Q)).
+  return std::max(0.0, value);
+}
+
+/// True if no reference of the program maps to `set` (its FMM row is 0).
+bool set_unused(const ReferenceMap& refs, SetIndex set) {
+  for (const auto& block_refs : refs)
+    for (const LineRef& r : block_refs)
+      if (r.set == set) return false;
+  return true;
+}
+
+/// Raises entries so each row is non-decreasing in f over [1, last]
+/// (monotonicity holds mathematically; this absorbs LP round-off and is in
+/// the conservative direction).
+void enforce_row_monotonicity(std::vector<double>& row, std::uint32_t last) {
+  for (std::uint32_t f = 2; f <= last; ++f)
+    row[size_t(f)] = std::max(row[size_t(f)], row[size_t(f - 1)]);
+}
+
+}  // namespace
+
+FmmBundle compute_fmm_bundle(const Program& program,
+                             const CacheConfig& config,
+                             const ReferenceMap& refs, WcetEngine engine,
+                             IpetCalculator* ipet) {
+  config.validate();
+  const ControlFlowGraph& cfg = program.cfg();
+  const std::uint32_t ways = config.ways;
+
+  auto empty_map = [&] {
+    FaultMissMap m;
+    m.misses.assign(config.sets, std::vector<double>(ways + 1, 0.0));
+    return m;
+  };
+  FmmBundle bundle{empty_map(), empty_map(), empty_map()};
+
+  const SrbHitMap srb_hits = analyze_srb(cfg, refs);
+
+  for (SetIndex s = 0; s < config.sets; ++s) {
+    if (set_unused(refs, s)) continue;  // all-zero row
+
+    const SetAnalysis fault_free(cfg, refs, s, ways);
+
+    // Shared partial-fault columns f = 1 .. W-1 (line granularity).
+    for (std::uint32_t f = 1; f < ways; ++f) {
+      const SetAnalysis degraded(cfg, refs, s, ways - f);
+      const CostModel model = build_delta_miss_model(
+          cfg, refs, s, fault_free, &degraded,
+          FullFaultSemantics::kUnprotected, nullptr);
+      const double bound = maximize_delta(program, model, engine, ipet);
+      bundle.none.misses[size_t(s)][size_t(f)] = bound;
+      bundle.rw.misses[size_t(s)][size_t(f)] = bound;
+      bundle.srb.misses[size_t(s)][size_t(f)] = bound;
+    }
+
+    // f == W, no protection: every fetch of the set misses.
+    {
+      const CostModel model = build_delta_miss_model(
+          cfg, refs, s, fault_free, nullptr,
+          FullFaultSemantics::kUnprotected, nullptr);
+      bundle.none.misses[size_t(s)][size_t(ways)] =
+          maximize_delta(program, model, engine, ipet);
+    }
+    // f == W, SRB: SRB-always-hit references removed (§III-B.2).
+    {
+      const CostModel model =
+          build_delta_miss_model(cfg, refs, s, fault_free, nullptr,
+                                 FullFaultSemantics::kSrb, &srb_hits);
+      bundle.srb.misses[size_t(s)][size_t(ways)] =
+          maximize_delta(program, model, engine, ipet);
+    }
+    // f == W, RW: unreachable (Eq. 3); the column stays 0 and is never
+    // weighted (the RW pwf vector has no f == W entry).
+
+    enforce_row_monotonicity(bundle.none.misses[size_t(s)], ways);
+    enforce_row_monotonicity(bundle.rw.misses[size_t(s)], ways - 1);
+    enforce_row_monotonicity(bundle.srb.misses[size_t(s)], ways);
+  }
+  return bundle;
+}
+
+FaultMissMap compute_fmm(const Program& program, const CacheConfig& config,
+                         const ReferenceMap& refs, Mechanism mechanism,
+                         WcetEngine engine, IpetCalculator* ipet) {
+  return compute_fmm_bundle(program, config, refs, engine, ipet).of(mechanism);
+}
+
+}  // namespace pwcet

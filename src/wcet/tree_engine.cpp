@@ -1,0 +1,104 @@
+#include "wcet/tree_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace pwcet {
+namespace {
+
+/// Cost of one execution of the subtree (for a loop: one entry).
+double subtree_cost(const Program& p, const CostModel& model, TreeId t,
+                    std::vector<double>& memo) {
+  double& slot = memo[size_t(t)];
+  if (slot == slot) return slot;  // already computed (not NaN)
+  const TreeNode& n = p.tree_node(t);
+  double cost = 0.0;
+  switch (n.kind) {
+    case TreeKind::kLeaf:
+      cost = model.block_cost[size_t(n.block)];
+      break;
+    case TreeKind::kSeq:
+      for (TreeId c : n.children) cost += subtree_cost(p, model, c, memo);
+      break;
+    case TreeKind::kAlt: {
+      double best = -std::numeric_limits<double>::infinity();
+      for (TreeId c : n.children)
+        best = std::max(best, subtree_cost(p, model, c, memo));
+      cost = best;
+      break;
+    }
+    case TreeKind::kLoop: {
+      const double header = subtree_cost(p, model, n.children[0], memo);
+      const double body = subtree_cost(p, model, n.children[1], memo);
+      const auto b = static_cast<double>(n.bound);
+      // k iterations cost header + k*(header+body); linear in k, so the
+      // maximum over k in [0, bound] sits at an endpoint. Delta-miss models
+      // can make header+body negative, in which case the worst path runs
+      // the loop zero times (the IPET relaxation does the same).
+      const double per_iter = header + body;
+      cost = model.loop_entry_cost[size_t(n.loop)] + header +
+             std::max(0.0, b * per_iter);
+      break;
+    }
+  }
+  slot = cost;
+  return cost;
+}
+
+void emit_worst(const Program& p, const CostModel& model, TreeId t,
+                const std::vector<double>& memo, std::vector<BlockId>& out) {
+  const TreeNode& n = p.tree_node(t);
+  switch (n.kind) {
+    case TreeKind::kLeaf:
+      out.push_back(n.block);
+      return;
+    case TreeKind::kSeq:
+      for (TreeId c : n.children) emit_worst(p, model, c, memo, out);
+      return;
+    case TreeKind::kAlt: {
+      TreeId best = n.children.front();
+      for (TreeId c : n.children)
+        if (memo[size_t(c)] > memo[size_t(best)]) best = c;
+      emit_worst(p, model, best, memo, out);
+      return;
+    }
+    case TreeKind::kLoop: {
+      const double per_iter =
+          memo[size_t(n.children[0])] + memo[size_t(n.children[1])];
+      const std::int64_t iterations = per_iter > 0.0 ? n.bound : 0;
+      emit_worst(p, model, n.children[0], memo, out);
+      for (std::int64_t i = 0; i < iterations; ++i) {
+        emit_worst(p, model, n.children[1], memo, out);
+        emit_worst(p, model, n.children[0], memo, out);
+      }
+      return;
+    }
+  }
+  PWCET_ASSERT(false);
+}
+
+std::vector<double> nan_memo(const Program& p) {
+  return std::vector<double>(p.tree().size(),
+                             std::numeric_limits<double>::quiet_NaN());
+}
+
+}  // namespace
+
+double tree_maximize(const Program& program, const CostModel& model) {
+  auto memo = nan_memo(program);
+  return model.root_entry_cost +
+         subtree_cost(program, model, program.tree_root(), memo);
+}
+
+std::vector<BlockId> tree_worst_path(const Program& program,
+                                     const CostModel& model) {
+  auto memo = nan_memo(program);
+  subtree_cost(program, model, program.tree_root(), memo);
+  std::vector<BlockId> path;
+  emit_worst(program, model, program.tree_root(), memo, path);
+  return path;
+}
+
+}  // namespace pwcet

@@ -1,0 +1,28 @@
+// Structural (loop-tree) WCET engine.
+//
+// Computes max_path(cost) bottom-up over the structure tree: leaves cost
+// their block, sequences add, alternatives take the max, and a loop entered
+// once costs  entry_cost(l) + (bound+1)*header + bound*body.  For the
+// reducible, structurally built CFGs of this repository the result equals
+// the exact IPET optimum (asserted by the test suite); the engine also
+// extracts an argmax block path used by the simulator and the MBPTA
+// pipeline, and serves as a fast exact FMM backend.
+#pragma once
+
+#include <vector>
+
+#include "cfg/program.hpp"
+#include "wcet/cost_model.hpp"
+
+namespace pwcet {
+
+/// Maximum total cost over all structurally valid paths (including
+/// root_entry_cost).
+double tree_maximize(const Program& program, const CostModel& model);
+
+/// An argmax path of `tree_maximize` as a concrete block sequence
+/// (branches pick the costlier arm; loops run to their bound).
+std::vector<BlockId> tree_worst_path(const Program& program,
+                                     const CostModel& model);
+
+}  // namespace pwcet

@@ -1,0 +1,90 @@
+#include "workloads/random_program.hpp"
+
+#include <string>
+#include <vector>
+
+#include "sim/path.hpp"
+#include "support/contracts.hpp"
+
+namespace pwcet::workloads {
+namespace {
+
+constexpr std::uint32_t kInstrPerLine = 4;
+
+class Generator {
+ public:
+  Generator(Rng& rng, const RandomProgramParams& params)
+      : rng_(rng), params_(params) {}
+
+  Program generate() {
+    // A couple of attempts: oversized programs (loop-bound products) are
+    // regenerated rather than clamped, keeping the distribution simple.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      ProgramBuilder b("random");
+      callees_.clear();
+      const std::uint32_t n_callees =
+          static_cast<std::uint32_t>(rng_.next_below(params_.max_functions));
+      for (std::uint32_t f = 0; f < n_callees; ++f) {
+        // Callee bodies are shallow (depth 2) to keep inlining bounded.
+        callees_.push_back(b.add_function("f" + std::to_string(f),
+                                          stmt(b, /*depth=*/2)));
+      }
+      b.add_function("main", stmt(b, params_.max_depth));
+      Program p = b.build(static_cast<FunctionId>(callees_.size()));
+      if (heavy_walk_fetch_count(p) <= params_.max_heavy_fetches) return p;
+    }
+    // Fall back to a trivially small program (statistically unreachable
+    // with sane parameters).
+    ProgramBuilder b("random_fallback");
+    b.add_function("main", b.code(4));
+    return b.build(0);
+  }
+
+ private:
+  StmtId code(ProgramBuilder& b) {
+    return b.code(kInstrPerLine *
+                  (1 + static_cast<std::uint32_t>(
+                           rng_.next_below(params_.max_code_lines))));
+  }
+
+  StmtId stmt(ProgramBuilder& b, std::uint32_t depth) {
+    if (depth == 0) return code(b);
+    switch (rng_.next_below(callees_.empty() ? 4 : 5)) {
+      case 0:
+        return code(b);
+      case 1: {  // sequence
+        std::vector<StmtId> children;
+        const std::uint64_t n = 1 + rng_.next_below(params_.max_children);
+        for (std::uint64_t i = 0; i < n; ++i)
+          children.push_back(stmt(b, depth - 1));
+        return b.seq(std::move(children));
+      }
+      case 2: {  // if/else (sometimes one-armed)
+        const StmtId then_arm = stmt(b, depth - 1);
+        if (rng_.next_bernoulli(0.3)) return b.if_then(1, then_arm);
+        return b.if_else(1, then_arm, stmt(b, depth - 1));
+      }
+      case 3: {  // bounded loop (occasionally bound 0 or 1 for edge cases)
+        const std::int64_t bound =
+            static_cast<std::int64_t>(rng_.next_below(
+                static_cast<std::uint64_t>(params_.max_loop_bound) + 1));
+        return b.loop(1, bound, stmt(b, depth - 1));
+      }
+      default:  // call a previously generated function
+        return b.call(callees_[rng_.next_below(callees_.size())]);
+    }
+  }
+
+  Rng& rng_;
+  const RandomProgramParams& params_;
+  std::vector<FunctionId> callees_;
+};
+
+}  // namespace
+
+Program random_program(Rng& rng, const RandomProgramParams& params) {
+  Generator gen(rng, params);
+  return gen.generate();
+}
+
+}  // namespace pwcet::workloads

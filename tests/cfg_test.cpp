@@ -1,0 +1,244 @@
+// Tests for the structured program builder, CFG invariants, layout and
+// inlining, dominators and natural-loop recovery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cfg/dominators.hpp"
+#include "cfg/program.hpp"
+#include "workloads/malardalen.hpp"
+
+namespace pwcet {
+namespace {
+
+TEST(Builder, StraightLineProgram) {
+  ProgramBuilder b("straight");
+  b.add_function("main", b.code(8));
+  const Program p = b.build(0);
+  // Exactly one real block with 8 instructions.
+  std::uint64_t total = 0;
+  for (const auto& blk : p.cfg().blocks()) total += blk.instruction_count;
+  EXPECT_EQ(total, 8u);
+  EXPECT_EQ(p.code_size_bytes(), 8 * kInstructionBytes);
+  EXPECT_TRUE(p.cfg().loops().empty());
+}
+
+TEST(Builder, SequenceLaysOutContiguously) {
+  ProgramBuilder b("seq");
+  b.add_function("main", b.seq({b.code(4), b.code(4), b.code(4)}));
+  const Program p = b.build(0);
+  // Instruction addresses cover [0, 48) without gaps.
+  std::set<Address> addrs;
+  for (const auto& blk : p.cfg().blocks())
+    for (std::uint32_t i = 0; i < blk.instruction_count; ++i)
+      addrs.insert(blk.first_address + i * kInstructionBytes);
+  EXPECT_EQ(addrs.size(), 12u);
+  EXPECT_EQ(*addrs.begin(), 0u);
+  EXPECT_EQ(*addrs.rbegin(), 44u);
+}
+
+TEST(Builder, BaseAddressOffsetsLayout) {
+  ProgramBuilder b("based");
+  b.add_function("main", b.code(4));
+  const Program p = b.build(0, /*base_address=*/0x1000);
+  bool found = false;
+  for (const auto& blk : p.cfg().blocks())
+    if (blk.instruction_count > 0) {
+      EXPECT_EQ(blk.first_address, 0x1000u);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, IfElseShape) {
+  ProgramBuilder b("ifelse");
+  b.add_function("main", b.if_else(2, b.code(3), b.code(5)));
+  const Program p = b.build(0);
+  p.cfg().validate();
+  // Condition block has two successors.
+  int branchy = 0;
+  for (const auto& blk : p.cfg().blocks())
+    if (blk.out_edges.size() == 2) ++branchy;
+  EXPECT_EQ(branchy, 1);
+  EXPECT_TRUE(p.cfg().loops().empty());
+}
+
+TEST(Builder, LoopMetadata) {
+  ProgramBuilder b("loop");
+  b.add_function("main", b.loop(1, 10, b.code(4)));
+  const Program p = b.build(0);
+  ASSERT_EQ(p.cfg().loops().size(), 1u);
+  const LoopInfo& l = p.cfg().loop(0);
+  EXPECT_EQ(l.bound, 10);
+  EXPECT_EQ(l.parent, kNoLoop);
+  ASSERT_EQ(l.back_edges.size(), 1u);
+  ASSERT_EQ(l.entry_edges.size(), 1u);
+  EXPECT_EQ(p.cfg().edge(l.back_edges[0]).target, l.header);
+  EXPECT_EQ(p.cfg().edge(l.entry_edges[0]).target, l.header);
+  // Header and body blocks belong to the loop.
+  EXPECT_NE(std::find(l.blocks.begin(), l.blocks.end(), l.header),
+            l.blocks.end());
+}
+
+TEST(Builder, NestedLoopParents) {
+  ProgramBuilder b("nest");
+  b.add_function("main", b.loop(1, 5, b.loop(1, 7, b.code(2))));
+  const Program p = b.build(0);
+  ASSERT_EQ(p.cfg().loops().size(), 2u);
+  const LoopInfo& outer = p.cfg().loop(0);
+  const LoopInfo& inner = p.cfg().loop(1);
+  EXPECT_EQ(outer.parent, kNoLoop);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_TRUE(p.cfg().loop_contains(outer.id, inner.id));
+  EXPECT_FALSE(p.cfg().loop_contains(inner.id, outer.id));
+  // Inner loop blocks are also outer loop blocks.
+  for (BlockId blk : inner.blocks)
+    EXPECT_NE(std::find(outer.blocks.begin(), outer.blocks.end(), blk),
+              outer.blocks.end());
+  // innermost_loop picks the inner loop for the inner body block.
+  EXPECT_EQ(p.cfg().innermost_loop(inner.header), inner.id);
+}
+
+TEST(Builder, CallSitesShareCalleeAddresses) {
+  ProgramBuilder b("calls");
+  const FunctionId callee = b.add_function("f", b.code(6));
+  b.add_function("main", b.seq({b.call(callee), b.code(2), b.call(callee)}));
+  const Program p = b.build(1);
+  // Two inlined instances of f: distinct blocks, same first_address.
+  std::vector<Address> starts;
+  for (const auto& blk : p.cfg().blocks())
+    if (blk.instruction_count == 6) starts.push_back(blk.first_address);
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], starts[1]);
+}
+
+TEST(Builder, CalleeLaidOutBeforeLaterFunctions) {
+  ProgramBuilder b("order");
+  const FunctionId f = b.add_function("f", b.code(4));
+  b.add_function("main", b.seq({b.code(4), b.call(f)}));
+  const Program p = b.build(1);
+  // f occupies [0,16); main starts at 16.
+  Address main_start = ~0ull;
+  Address f_start = ~0ull;
+  for (const auto& blk : p.cfg().blocks()) {
+    if (blk.instruction_count != 4) continue;
+    if (blk.id == p.cfg().entry() ||
+        p.cfg().block(p.cfg().entry()).instruction_count == 0) {
+      // identify by address instead
+    }
+    if (blk.first_address == 0)
+      f_start = blk.first_address;
+    else
+      main_start = std::min(main_start, blk.first_address);
+  }
+  EXPECT_EQ(f_start, 0u);
+  EXPECT_EQ(main_start, 16u);
+}
+
+TEST(Builder, EmptyElseArm) {
+  ProgramBuilder b("ifthen");
+  b.add_function("main", b.if_then(1, b.code(3)));
+  const Program p = b.build(0);
+  p.cfg().validate();  // no abort: both arms wired, exit reachable
+}
+
+TEST(Builder, ZeroBoundLoopStillValid) {
+  ProgramBuilder b("dead");
+  b.add_function("main", b.loop(1, 0, b.code(4)));
+  const Program p = b.build(0);
+  EXPECT_EQ(p.cfg().loop(0).bound, 0);
+}
+
+TEST(Builder, RecursionAborts) {
+  // Direct recursion is rejected: functions must be declared before call,
+  // so self-reference is the only possible cycle — guarded at build time.
+  ProgramBuilder b("rec");
+  const FunctionId f = b.add_function("f", b.code(2));
+  // A second function calling f twice nested is fine; true self-recursion
+  // cannot even be expressed (call requires an existing id). Verify the
+  // legal nested-call case builds.
+  const FunctionId g = b.add_function("g", b.seq({b.call(f), b.call(f)}));
+  b.add_function("main", b.call(g));
+  const Program p = b.build(2);
+  p.cfg().validate();
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntry) {
+  const Program p = workloads::build("matmult");
+  const auto order = p.cfg().reverse_post_order();
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), p.cfg().entry());
+  EXPECT_EQ(order.size(), p.cfg().block_count());
+}
+
+TEST(Cfg, EdgesConsistentWithAdjacency) {
+  const Program p = workloads::build("fft");
+  for (const CfgEdge& e : p.cfg().edges()) {
+    const auto& out = p.cfg().block(e.source).out_edges;
+    EXPECT_NE(std::find(out.begin(), out.end(), e.id), out.end());
+    const auto& in = p.cfg().block(e.target).in_edges;
+    EXPECT_NE(std::find(in.begin(), in.end(), e.id), in.end());
+  }
+}
+
+TEST(Dominators, DiamondIdoms) {
+  ProgramBuilder b("diamond");
+  b.add_function("main", b.if_else(1, b.code(2), b.code(3)));
+  const Program p = b.build(0);
+  const DominatorTree dom(p.cfg());
+  const BlockId entry = p.cfg().entry();
+  const BlockId exit = p.cfg().exit();
+  EXPECT_TRUE(dom.dominates(entry, exit));
+  EXPECT_TRUE(dom.dominates(entry, entry));
+  // Neither arm dominates the join.
+  for (const auto& blk : p.cfg().blocks()) {
+    if (blk.id == entry || blk.id == exit) continue;
+    if (blk.instruction_count == 2 || blk.instruction_count == 3) {
+      EXPECT_FALSE(dom.dominates(blk.id, exit));
+    }
+  }
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  ProgramBuilder b("loopdom");
+  b.add_function("main", b.loop(1, 3, b.code(4)));
+  const Program p = b.build(0);
+  const DominatorTree dom(p.cfg());
+  const LoopInfo& l = p.cfg().loop(0);
+  for (BlockId blk : l.blocks) EXPECT_TRUE(dom.dominates(l.header, blk));
+}
+
+// The builder's registered loops must agree with natural-loop detection on
+// every workload: same headers, same block sets.
+class LoopRecoveryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LoopRecoveryTest, DetectedLoopsMatchRegistered) {
+  const Program p = workloads::build(GetParam());
+  const auto detected = detect_natural_loops(p.cfg());
+  ASSERT_EQ(detected.size(), p.cfg().loops().size());
+
+  for (const DetectedLoop& dl : detected) {
+    const LoopInfo* match = nullptr;
+    for (const LoopInfo& li : p.cfg().loops())
+      if (li.header == dl.header) match = &li;
+    ASSERT_NE(match, nullptr) << "no registered loop with header "
+                              << dl.header;
+    std::vector<BlockId> registered = match->blocks;
+    std::sort(registered.begin(), registered.end());
+    EXPECT_EQ(dl.blocks, registered);
+    // Back edges agree.
+    std::vector<EdgeId> reg_back = match->back_edges;
+    std::sort(reg_back.begin(), reg_back.end());
+    std::vector<EdgeId> det_back = dl.back_edges;
+    std::sort(det_back.begin(), det_back.end());
+    EXPECT_EQ(det_back, reg_back);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, LoopRecoveryTest,
+                         ::testing::ValuesIn(workloads::names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace pwcet

@@ -1,0 +1,239 @@
+// Unit and property tests for src/prob: binomial law (paper Eq. 2-3) and
+// the discrete penalty distributions with conservative coalescing
+// (paper Fig. 1.b).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/binomial.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "support/rng.hpp"
+
+namespace pwcet {
+namespace {
+
+TEST(Binomial, CoefficientSmallCases) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(4, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(4, 1)), 4.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(4, 2)), 6.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 5)), 252.0, 1e-9);
+}
+
+TEST(Binomial, PmfMatchesDirectFormula) {
+  const double p = 0.3;
+  for (unsigned k = 0; k <= 4; ++k) {
+    double direct = 1.0;
+    // n = 4 direct computation.
+    const double choose[] = {1, 4, 6, 4, 1};
+    direct = choose[k] * std::pow(p, k) * std::pow(1 - p, 4 - k);
+    EXPECT_NEAR(binomial_pmf(4, k, p), direct, 1e-12);
+  }
+}
+
+TEST(Binomial, PmfVectorSumsToOne) {
+  for (double p : {0.0, 1e-10, 1e-4, 0.01, 0.5, 0.99, 1.0}) {
+    const auto pmf = binomial_pmf_vector(4, p);
+    ASSERT_EQ(pmf.size(), 5u);
+    double sum = 0.0;
+    for (double x : pmf) sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Binomial, ExtremeTailStaysAccurate) {
+  // pbf ~ 1.3e-2 for pfail = 1e-4 (paper); pwf(4) = pbf^4 ~ 2.6e-8 must not
+  // round to zero, nor should far smaller tails.
+  const double pbf = 0.0127182;
+  EXPECT_NEAR(binomial_pmf(4, 4, pbf), std::pow(pbf, 4), 1e-14);
+  const double tiny = binomial_pmf(4, 4, 1e-10);
+  EXPECT_GT(tiny, 0.0);
+  EXPECT_NEAR(tiny, 1e-40, 1e-45);
+}
+
+TEST(Binomial, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 4, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 1, 1.0), 0.0);
+}
+
+TEST(Binomial, TailGeq) {
+  const double p = 0.2;
+  EXPECT_NEAR(binomial_tail_geq(4, 0, p), 1.0, 1e-12);
+  double direct = 0.0;
+  for (unsigned k = 2; k <= 4; ++k) direct += binomial_pmf(4, k, p);
+  EXPECT_NEAR(binomial_tail_geq(4, 2, p), direct, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(4, 5, p), 0.0);
+}
+
+TEST(Distribution, DefaultIsZeroPoint) {
+  const DiscreteDistribution d;
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.min_value(), 0);
+  EXPECT_DOUBLE_EQ(d.total_mass(), 1.0);
+}
+
+TEST(Distribution, FromAtomsMergesAndSorts) {
+  const auto d = DiscreteDistribution::from_atoms(
+      {{5, 0.25}, {1, 0.5}, {5, 0.25}});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.atoms()[0].value, 1);
+  EXPECT_DOUBLE_EQ(d.atoms()[0].probability, 0.5);
+  EXPECT_EQ(d.atoms()[1].value, 5);
+  EXPECT_DOUBLE_EQ(d.atoms()[1].probability, 0.5);
+}
+
+TEST(Distribution, DropsZeroProbabilityAtoms) {
+  const auto d =
+      DiscreteDistribution::from_atoms({{1, 1.0}, {7, 0.0}});
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Distribution, ExceedanceStepFunction) {
+  const auto d = DiscreteDistribution::from_atoms({{10, 0.7}, {20, 0.3}});
+  EXPECT_DOUBLE_EQ(d.exceedance(9), 1.0);
+  EXPECT_DOUBLE_EQ(d.exceedance(10), 0.3);
+  EXPECT_DOUBLE_EQ(d.exceedance(19), 0.3);
+  EXPECT_DOUBLE_EQ(d.exceedance(20), 0.0);
+}
+
+TEST(Distribution, QuantileExceedance) {
+  const auto d = DiscreteDistribution::from_atoms({{10, 0.7}, {20, 0.3}});
+  // P[X > 10] = 0.3 <= 0.5, and any v < 10 has exceedance 1.0.
+  EXPECT_EQ(d.quantile_exceedance(0.5), 10);
+  EXPECT_EQ(d.quantile_exceedance(0.3), 10);   // 0.3 <= 0.3 holds at 10
+  EXPECT_EQ(d.quantile_exceedance(0.29), 20);  // need the top atom
+  EXPECT_EQ(d.quantile_exceedance(0.0), 20);
+}
+
+TEST(Distribution, QuantileOfDegenerate) {
+  const auto d = DiscreteDistribution::degenerate(42);
+  EXPECT_EQ(d.quantile_exceedance(1e-15), 42);
+  EXPECT_EQ(d.quantile_exceedance(0.9), 42);
+}
+
+TEST(Distribution, ConvolveTwoDice) {
+  std::vector<ProbabilityAtom> die;
+  for (int v = 1; v <= 6; ++v) die.push_back({v, 1.0 / 6.0});
+  const auto d = DiscreteDistribution::from_atoms(die);
+  const auto sum = d.convolve(d);
+  ASSERT_EQ(sum.size(), 11u);  // 2..12
+  EXPECT_EQ(sum.min_value(), 2);
+  EXPECT_EQ(sum.max_value(), 12);
+  EXPECT_NEAR(sum.total_mass(), 1.0, 1e-12);
+  // P[sum = 7] = 6/36.
+  EXPECT_NEAR(sum.exceedance(6) - sum.exceedance(7), 6.0 / 36.0, 1e-12);
+}
+
+TEST(Distribution, ConvolveWithZeroIsIdentity) {
+  const auto d = DiscreteDistribution::from_atoms({{3, 0.4}, {9, 0.6}});
+  const auto same = d.convolve(DiscreteDistribution::degenerate(0));
+  EXPECT_EQ(same, d);
+}
+
+TEST(Distribution, ShiftAndScale) {
+  const auto d = DiscreteDistribution::from_atoms({{1, 0.5}, {2, 0.5}});
+  const auto shifted = d.shift(100);
+  EXPECT_EQ(shifted.min_value(), 101);
+  EXPECT_EQ(shifted.max_value(), 102);
+  const auto scaled = d.scale_values(100);
+  EXPECT_EQ(scaled.min_value(), 100);
+  EXPECT_EQ(scaled.max_value(), 200);
+  // Scaling by zero collapses to a single atom at 0.
+  const auto zero = d.scale_values(0);
+  EXPECT_EQ(zero.size(), 1u);
+  EXPECT_NEAR(zero.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Distribution, MeanLinearity) {
+  const auto d = DiscreteDistribution::from_atoms({{2, 0.5}, {6, 0.5}});
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.shift(10).mean(), 14.0);
+  EXPECT_DOUBLE_EQ(d.scale_values(3).mean(), 12.0);
+}
+
+TEST(Distribution, CoalesceKeepsMassAndBounds) {
+  std::vector<ProbabilityAtom> atoms;
+  for (int v = 0; v < 100; ++v) atoms.push_back({v, 0.01});
+  const auto d = DiscreteDistribution::from_atoms(atoms);
+  const auto c = d.coalesce_up(10);
+  EXPECT_LE(c.size(), 10u);
+  EXPECT_NEAR(c.total_mass(), 1.0, 1e-12);
+  EXPECT_EQ(c.max_value(), d.max_value());  // top atom always preserved
+}
+
+TEST(Distribution, CoalesceIsConservative) {
+  // The coalesced distribution must stochastically dominate the original:
+  // moving mass upward can only increase exceedance probabilities.
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ProbabilityAtom> atoms;
+    double total = 0.0;
+    const int n = 20 + static_cast<int>(rng.next_below(80));
+    for (int i = 0; i < n; ++i) {
+      const double p = rng.next_double() + 1e-3;
+      atoms.push_back({static_cast<Cycles>(rng.next_below(100000)), p});
+      total += p;
+    }
+    for (auto& a : atoms) a.probability /= total;
+    const auto d = DiscreteDistribution::from_atoms(atoms);
+    const auto c = d.coalesce_up(8);
+    EXPECT_TRUE(c.dominates(d)) << "trial " << trial;
+    EXPECT_NEAR(c.total_mass(), 1.0, 1e-9);
+  }
+}
+
+TEST(Distribution, DominatesIsReflexiveAndDetectsViolation) {
+  const auto a = DiscreteDistribution::from_atoms({{1, 0.5}, {10, 0.5}});
+  const auto b = DiscreteDistribution::from_atoms({{1, 0.4}, {10, 0.6}});
+  EXPECT_TRUE(a.dominates(a));
+  EXPECT_TRUE(b.dominates(a));   // b has more mass up high
+  EXPECT_FALSE(a.dominates(b));
+}
+
+TEST(Distribution, ConvolveAllWithCoalescing) {
+  // 16 independent 3-point distributions (like 16 cache sets).
+  std::vector<DiscreteDistribution> parts;
+  for (int s = 0; s < 16; ++s) {
+    parts.push_back(DiscreteDistribution::from_atoms(
+        {{0, 0.9}, {100 * (s + 1), 0.09}, {1000 * (s + 1), 0.01}}));
+  }
+  const auto all = convolve_all(parts, 512);
+  EXPECT_LE(all.size(), 512u);
+  EXPECT_NEAR(all.total_mass(), 1.0, 1e-9);
+  // Maximum penalty = sum of the per-part maxima (coalescing keeps the top).
+  Cycles expected_max = 0;
+  for (int s = 0; s < 16; ++s) expected_max += 1000 * (s + 1);
+  EXPECT_EQ(all.max_value(), expected_max);
+  // All-zero outcome has probability 0.9^16.
+  EXPECT_NEAR(1.0 - all.exceedance(0), std::pow(0.9, 16), 1e-9);
+}
+
+TEST(Distribution, PaperFigure1Example) {
+  // Paper Fig. 1.b: sets 0 and 1 with FMM rows {10, 130} and {14, 164}
+  // (W = 2), combined by convolution. Probabilities pwf(0), pwf(1), pwf(2).
+  const double pbf = 0.1;
+  const auto pwf = binomial_pmf_vector(2, pbf);
+  const auto set0 = DiscreteDistribution::from_atoms(
+      {{0, pwf[0]}, {10, pwf[1]}, {130, pwf[2]}});
+  const auto set1 = DiscreteDistribution::from_atoms(
+      {{0, pwf[0]}, {14, pwf[1]}, {164, pwf[2]}});
+  const auto combined = set0.convolve(set1);
+  // 9 combinations, all distinct sums here.
+  EXPECT_EQ(combined.size(), 9u);
+  EXPECT_EQ(combined.max_value(), 130 + 164);
+  EXPECT_NEAR(combined.exceedance(293), pwf[2] * pwf[2], 1e-15);
+  // P[penalty = 24] = pwf(1)^2 (one faulty block in each set).
+  EXPECT_NEAR(combined.exceedance(23) - combined.exceedance(24),
+              pwf[1] * pwf[1], 1e-12);
+}
+
+TEST(Distribution, ExceedanceAccumulatesTinyTails) {
+  // Summing from the top must retain 1e-30-scale tail atoms.
+  const auto d = DiscreteDistribution::from_atoms(
+      {{0, 1.0 - 1e-30}, {1000, 1e-30}});
+  EXPECT_NEAR(d.exceedance(500), 1e-30, 1e-36);
+}
+
+}  // namespace
+}  // namespace pwcet
