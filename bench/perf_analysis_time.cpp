@@ -1,11 +1,24 @@
-// E7: cost of the analysis toolchain itself (google-benchmark).
+// E7: cost of the analysis toolchain itself.
 //
 // The paper's toolchain ran Heptane + CPLEX offline; this bench documents
 // that the from-scratch reproduction is interactive-speed: cache analysis,
-// IPET construction + solve, FMM bundle, and the full pWCET pipeline.
+// IPET construction + solve, FMM bundle, and the full pWCET pipeline
+// (google-benchmark micro benches), plus the campaign engine's scenario
+// throughput: a geometry-sweep campaign timed at 1 thread and at N
+// threads, with the byte-identity of the two reports checked on the spot.
+// The campaign numbers are emitted as machine-readable JSON
+// (BENCH_perf_analysis_time.json and stdout) so the perf trajectory can be
+// tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
 #include "core/pwcet_analyzer.hpp"
+#include "engine/report.hpp"
+#include "engine/runner.hpp"
 #include "wcet/cost_model.hpp"
 #include "wcet/ipet.hpp"
 #include "wcet/tree_engine.hpp"
@@ -114,6 +127,92 @@ void BM_AnalyzePerMechanism(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzePerMechanism);
 
+/// Campaign throughput: the geometry sweep of tab_geometry_sweep run
+/// serially and on the pool, reports verified byte-identical. Returns
+/// whether the byte-identity held (the determinism acceptance check).
+bool run_campaign_scaling(std::FILE* json) {
+  CampaignSpec spec;
+  spec.tasks = {"adpcm", "matmult", "crc", "fft"};
+  for (const auto& [sets, ways, line] :
+       {std::tuple{32u, 2u, 16u}, std::tuple{16u, 4u, 16u},
+        std::tuple{8u, 8u, 16u}, std::tuple{32u, 4u, 8u},
+        std::tuple{8u, 4u, 32u}}) {
+    CacheConfig config;
+    config.sets = sets;
+    config.ways = ways;
+    config.line_bytes = line;
+    spec.geometries.push_back(config);
+  }
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+
+  // The acceptance bar is N >= 4: run with at least 4 workers even on
+  // narrower machines (oversubscription is harmless for the identity
+  // check; the speedup column then simply reports ~1).
+  std::size_t threads = threads_from_env();
+  if (threads == 0)
+    threads = std::max(4u, std::thread::hardware_concurrency());
+  threads = std::max<std::size_t>(4, threads);
+
+  RunnerOptions serial;
+  serial.threads = 1;
+  RunnerOptions parallel;
+  parallel.threads = threads;
+
+  const CampaignResult base = run_campaign(spec, serial);
+  const CampaignResult wide = run_campaign(spec, parallel);
+  const bool identical = report_csv(base) == report_csv(wide) &&
+                         report_jsonl(base) == report_jsonl(wide);
+
+  char line[512];
+  std::snprintf(
+      line, sizeof line,
+      "{\"name\":\"geometry_sweep_campaign\",\"jobs\":%zu,"
+      "\"threads\":%zu,\"hardware_threads\":%u,"
+      "\"wall_seconds_1_thread\":%.6f,\"wall_seconds_n_threads\":%.6f,"
+      "\"speedup\":%.3f,\"reports_identical\":%s}\n",
+      base.results.size(), wide.threads_used,
+      std::thread::hardware_concurrency(), base.wall_seconds,
+      wide.wall_seconds, base.wall_seconds / wide.wall_seconds,
+      identical ? "true" : "false");
+  std::fputs(line, stdout);
+  if (json != nullptr) std::fputs(line, json);
+  return identical;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --benchmark_list_tests is a pure query; don't run the campaign (and
+  // don't clobber the JSON from a real run) just to enumerate benches.
+  // Scanned before Initialize, which strips the flags it recognizes.
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_list_tests", 0) != 0) continue;
+    // Bare flag or any truthy spelling google-benchmark accepts.
+    const std::string value = arg.size() > 22 && arg[22] == '='
+                                  ? arg.substr(23)
+                                  : "true";
+    list_only = value == "true" || value == "1" || value == "yes" ||
+                value == "on";
+  }
+
+  // Flag validation next, so a typo'd invocation fails fast instead of
+  // paying for two full campaign runs.
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  bool identical = true;
+  if (!list_only) {
+    std::FILE* json = std::fopen("BENCH_perf_analysis_time.json", "w");
+    identical = run_campaign_scaling(json);
+    if (json != nullptr) std::fclose(json);
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // A determinism regression must fail the process, not just print false.
+  return identical ? 0 : 1;
+}

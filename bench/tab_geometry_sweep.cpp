@@ -7,68 +7,78 @@
 // no-protection pWCET of the same geometry, plus absolute values — showing
 // where each mechanism pays off and how the RW's reserved way interacts
 // with low associativity.
+//
+// The sweep is a campaign (engine/campaign.hpp) run on the thread pool
+// (PWCET_THREADS workers; default one per hardware thread); the full
+// machine-readable grid lands in tab_geometry_sweep.{csv,jsonl}.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/pwcet_analyzer.hpp"
+#include "engine/report.hpp"
+#include "engine/runner.hpp"
 #include "support/table.hpp"
-#include "workloads/malardalen.hpp"
-
-namespace {
-
-struct Geometry {
-  std::uint32_t sets;
-  std::uint32_t ways;
-  std::uint32_t line_bytes;
-};
-
-}  // namespace
 
 int main() {
   using namespace pwcet;
-  const FaultModel faults(1e-4);
   const double target = 1e-15;
+
+  CampaignSpec spec;
+  spec.tasks = {"adpcm", "matmult", "crc", "fft", "fibcall", "ud"};
   // Constant 1 KB capacity: sets * ways * line = 1024.
-  const std::vector<Geometry> geometries{
-      {32, 2, 16},  // low associativity
-      {16, 4, 16},  // paper configuration
-      {8, 8, 16},   // high associativity
-      {32, 4, 8},   // small lines
-      {8, 4, 32},   // large lines (more bits per block => higher pbf)
-  };
-  const std::vector<std::string> names{"adpcm", "matmult", "crc", "fft",
-                                       "fibcall", "ud"};
+  for (const auto& [sets, ways, line] :
+       {std::tuple{32u, 2u, 16u},   // low associativity
+        std::tuple{16u, 4u, 16u},   // paper configuration
+        std::tuple{8u, 8u, 16u},    // high associativity
+        std::tuple{32u, 4u, 8u},    // small lines
+        std::tuple{8u, 4u, 32u}}) {  // large lines (more bits => higher pbf)
+    CacheConfig config;
+    config.sets = sets;
+    config.ways = ways;
+    config.line_bytes = line;
+    spec.geometries.push_back(config);
+  }
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.target_exceedance = target;
+
+  RunnerOptions options;
+  options.threads = threads_from_env();
+  const CampaignResult campaign = run_campaign(spec, options);
 
   std::printf("E4 — geometry sweep at 1 KB, pfail = 1e-4, target 1e-15\n");
   std::printf("(normalized: pWCET / no-protection pWCET of same geometry)\n\n");
-  for (const std::string& name : names) {
-    const Program program = workloads::build(name);
+  for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
     TextTable table({"geometry", "WCET_ff", "none(abs)", "SRB", "RW"});
-    for (const Geometry& g : geometries) {
-      CacheConfig config;
-      config.sets = g.sets;
-      config.ways = g.ways;
-      config.line_bytes = g.line_bytes;
-      const PwcetAnalyzer analyzer(program, config);
-      const auto none = analyzer.analyze(faults, Mechanism::kNone);
-      const auto srb =
-          analyzer.analyze(faults, Mechanism::kSharedReliableBuffer);
-      const auto rw = analyzer.analyze(faults, Mechanism::kReliableWay);
-      const double base = static_cast<double>(none.pwcet(target));
+    for (std::size_t g = 0; g < spec.geometries.size(); ++g) {
+      const JobResult& none = campaign.at(t, g, 0, 0);
+      const JobResult& srb = campaign.at(t, g, 0, 1);
+      const JobResult& rw = campaign.at(t, g, 0, 2);
+      const CacheConfig& geometry = spec.geometries[g];
       char label[32];
-      std::snprintf(label, sizeof label, "%ux%uw x %uB", g.sets, g.ways,
-                    g.line_bytes);
-      table.add_row({label, std::to_string(analyzer.fault_free_wcet()),
-                     std::to_string(none.pwcet(target)),
-                     fmt_double(srb.pwcet(target) / base, 3),
-                     fmt_double(rw.pwcet(target) / base, 3)});
+      std::snprintf(label, sizeof label, "%ux%uw x %uB", geometry.sets,
+                    geometry.ways, geometry.line_bytes);
+      table.add_row({label, std::to_string(none.fault_free_wcet),
+                     fmt_double(none.pwcet, 0),
+                     fmt_double(srb.pwcet / none.pwcet, 3),
+                     fmt_double(rw.pwcet / none.pwcet, 3)});
     }
-    std::printf("%s\n%s\n", name.c_str(), table.to_string().c_str());
+    std::printf("%s\n%s\n", spec.tasks[t].c_str(),
+                table.to_string().c_str());
   }
   std::printf(
       "expected: at 2-way the RW halves the usable cache (weakest RW case);\n"
       "larger lines raise pbf (Eq. 1: more bits per block) and penalize the\n"
       "unprotected cache hardest.\n");
+
+  if (!write_report_files(campaign, "tab_geometry_sweep")) {
+    std::fprintf(stderr, "error: failed to write tab_geometry_sweep.{csv,jsonl}\n");
+    return 1;
+  }
+  std::printf(
+      "\n[%zu jobs on %zu threads in %.2fs — full grid in "
+      "tab_geometry_sweep.{csv,jsonl}]\n",
+      campaign.results.size(), campaign.threads_used, campaign.wall_seconds);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "engine/thread_pool.hpp"
 #include "support/contracts.hpp"
 #include "wcet/tree_engine.hpp"
 
@@ -31,7 +32,7 @@ PwcetAnalyzer::PwcetAnalyzer(const Program& program,
   fault_free_wcet_ = static_cast<Cycles>(std::ceil(wcet - 1e-6));
 
   fmm_ = compute_fmm_bundle(program_, config_, refs_, options_.engine,
-                            ipet_.get());
+                            ipet_.get(), options_.pool);
 }
 
 PwcetResult PwcetAnalyzer::analyze(const FaultModel& faults,
@@ -42,26 +43,37 @@ PwcetResult PwcetAnalyzer::analyze(const FaultModel& faults,
 
   // Per-set penalty distribution: one atom per possible fault count
   // (paper Fig. 1.b), value = miss_penalty * FMM[s][f].
-  std::vector<DiscreteDistribution> per_set;
-  per_set.reserve(config_.sets);
-  for (SetIndex s = 0; s < config_.sets; ++s) {
+  auto build_set = [&](std::size_t s) {
     std::vector<ProbabilityAtom> atoms;
     atoms.reserve(pwf.size());
     for (std::size_t f = 0; f < pwf.size(); ++f) {
-      const double misses = fmm.at(s, static_cast<std::uint32_t>(f));
+      const double misses = fmm.at(static_cast<SetIndex>(s),
+                                   static_cast<std::uint32_t>(f));
       const auto penalty = static_cast<Cycles>(
           std::ceil(misses - 1e-6) * static_cast<double>(config_.miss_penalty));
       atoms.push_back({penalty, pwf[f]});
     }
-    per_set.push_back(DiscreteDistribution::from_atoms(std::move(atoms)));
-  }
+    return DiscreteDistribution::from_atoms(std::move(atoms));
+  };
 
   PwcetResult result;
   result.mechanism = mechanism;
   result.fault_free_wcet = fault_free_wcet_;
   result.fmm = fmm;
-  result.penalty =
-      convolve_all(per_set, options_.max_distribution_points);
+
+  // Sets are independent (Fig. 1.b): combine by convolution, pairwise so
+  // the rounds parallelize and the coalescing error stacks O(log S) deep
+  // instead of O(S). Pooled and serial paths produce identical bits.
+  std::vector<DiscreteDistribution> per_set;
+  if (options_.pool != nullptr) {
+    per_set = options_.pool->map_indexed(config_.sets, build_set);
+  } else {
+    per_set.reserve(config_.sets);
+    for (SetIndex s = 0; s < config_.sets; ++s)
+      per_set.push_back(build_set(s));
+  }
+  result.penalty = convolve_all_tree(
+      per_set, options_.max_distribution_points, options_.pool);
   return result;
 }
 

@@ -31,12 +31,22 @@
 
 namespace pwcet {
 
+class ThreadPool;
+
 struct PwcetOptions {
   /// Engine for the fault-free WCET and the FMM delta maximizations.
   WcetEngine engine = WcetEngine::kIlp;
   /// Max support points kept between set convolutions (conservative
   /// coalescing; larger = tighter, slower).
   std::size_t max_distribution_points = 2048;
+  /// Optional worker pool (engine/thread_pool.hpp). When set, the
+  /// independent per-set work — penalty-distribution construction, the
+  /// pairwise convolution rounds, and (tree engine only) the FMM rows —
+  /// fans out across the pool. Results are identical with and without a
+  /// pool, at any thread count: work is partitioned by set index and the
+  /// convolution tree has a fixed shape. The pool must outlive the
+  /// analyzer; nullptr runs everything on the calling thread.
+  ThreadPool* pool = nullptr;
 };
 
 /// One (exceedance probability, pWCET) point of the CCDF.

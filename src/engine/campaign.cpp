@@ -1,0 +1,142 @@
+#include "engine/campaign.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace pwcet {
+namespace {
+
+/// FNV-1a over a string, as one 64-bit stream id per task name.
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_geometry(const CacheConfig& g) {
+  std::uint64_t h = g.sets;
+  h = h * 0x100000001b3ULL + g.ways;
+  h = h * 0x100000001b3ULL + g.line_bytes;
+  h = h * 0x100000001b3ULL + static_cast<std::uint64_t>(g.hit_latency);
+  h = h * 0x100000001b3ULL + static_cast<std::uint64_t>(g.miss_penalty);
+  return h;
+}
+
+}  // namespace
+
+std::string analysis_kind_name(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kSpta:
+      return "spta";
+    case AnalysisKind::kMbpta:
+      return "mbpta";
+    case AnalysisKind::kSimulation:
+      return "sim";
+  }
+  return "?";
+}
+
+std::string engine_name(WcetEngine engine) {
+  return engine == WcetEngine::kIlp ? "ilp" : "tree";
+}
+
+void CampaignSpec::validate() const {
+  PWCET_EXPECTS(!tasks.empty());
+  PWCET_EXPECTS(!geometries.empty());
+  PWCET_EXPECTS(!pfails.empty());
+  PWCET_EXPECTS(!mechanisms.empty());
+  PWCET_EXPECTS(!engines.empty());
+  PWCET_EXPECTS(!kinds.empty());
+  PWCET_EXPECTS(target_exceedance > 0.0 && target_exceedance <= 1.0);
+  PWCET_EXPECTS(max_distribution_points >= 2);
+  for (const CacheConfig& g : geometries) g.validate();
+  for (const Probability p : pfails) PWCET_EXPECTS(p >= 0.0 && p <= 1.0);
+  for (const AnalysisKind kind : kinds) {
+    if (kind == AnalysisKind::kMbpta)
+      PWCET_EXPECTS(mbpta.chips >= 2 * mbpta.block_size);
+    if (kind == AnalysisKind::kSimulation)
+      PWCET_EXPECTS(simulation_chips > 0);
+  }
+}
+
+std::string CampaignJob::id() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s/%ux%ux%uB/%.1e/%s/%s/%s", task.c_str(),
+                geometry.sets, geometry.ways, geometry.line_bytes, pfail,
+                mechanism_name(mechanism).c_str(),
+                engine_name(engine).c_str(),
+                analysis_kind_name(kind).c_str());
+  return buf;
+}
+
+std::uint64_t campaign_job_seed(const CampaignSpec& spec,
+                                const CampaignJob& job) {
+  // Chain every key field through the seed so two jobs differing in any
+  // axis value get unrelated streams; fields are hashed by *value* so the
+  // seed is invariant under reordering / extending the spec's axes.
+  std::uint64_t seed = spec.base_seed;
+  seed = Rng::derive_seed(seed, hash_name(job.task));
+  seed = Rng::derive_seed(seed, hash_geometry(job.geometry));
+  seed = Rng::derive_seed(seed, std::bit_cast<std::uint64_t>(job.pfail));
+  seed = Rng::derive_seed(seed, static_cast<std::uint64_t>(job.mechanism));
+  seed = Rng::derive_seed(seed, static_cast<std::uint64_t>(job.engine));
+  seed = Rng::derive_seed(seed, static_cast<std::uint64_t>(job.kind));
+  return seed;
+}
+
+std::vector<CampaignJob> expand_campaign(const CampaignSpec& spec) {
+  spec.validate();
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(spec.job_count());
+  for (std::size_t t = 0; t < spec.tasks.size(); ++t)
+    for (std::size_t g = 0; g < spec.geometries.size(); ++g)
+      for (std::size_t p = 0; p < spec.pfails.size(); ++p)
+        for (std::size_t m = 0; m < spec.mechanisms.size(); ++m)
+          for (std::size_t e = 0; e < spec.engines.size(); ++e)
+            for (std::size_t k = 0; k < spec.kinds.size(); ++k) {
+              CampaignJob job;
+              job.index = jobs.size();
+              job.task_i = t;
+              job.geometry_i = g;
+              job.pfail_i = p;
+              job.mechanism_i = m;
+              job.engine_i = e;
+              job.kind_i = k;
+              job.task = spec.tasks[t];
+              job.geometry = spec.geometries[g];
+              job.pfail = spec.pfails[p];
+              job.mechanism = spec.mechanisms[m];
+              job.engine = spec.engines[e];
+              job.kind = spec.kinds[k];
+              job.seed = campaign_job_seed(spec, job);
+              jobs.push_back(std::move(job));
+            }
+  return jobs;
+}
+
+std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
+                               std::size_t geometry_i, std::size_t pfail_i,
+                               std::size_t mechanism_i, std::size_t engine_i,
+                               std::size_t kind_i) {
+  PWCET_EXPECTS(task_i < spec.tasks.size());
+  PWCET_EXPECTS(geometry_i < spec.geometries.size());
+  PWCET_EXPECTS(pfail_i < spec.pfails.size());
+  PWCET_EXPECTS(mechanism_i < spec.mechanisms.size());
+  PWCET_EXPECTS(engine_i < spec.engines.size());
+  PWCET_EXPECTS(kind_i < spec.kinds.size());
+  std::size_t index = task_i;
+  index = index * spec.geometries.size() + geometry_i;
+  index = index * spec.pfails.size() + pfail_i;
+  index = index * spec.mechanisms.size() + mechanism_i;
+  index = index * spec.engines.size() + engine_i;
+  index = index * spec.kinds.size() + kind_i;
+  return index;
+}
+
+}  // namespace pwcet

@@ -1,0 +1,102 @@
+// Declarative description of a pWCET scenario sweep.
+//
+// Every figure and table of the paper is a cartesian sweep over a few axes:
+// task x cache geometry x cell failure probability x reliability mechanism
+// x WCET engine x analysis kind. A CampaignSpec names the axis values once;
+// expand_campaign() unrolls them into a flat, deterministically ordered
+// list of independent jobs that the runner (engine/runner.hpp) executes on
+// a thread pool.
+//
+// Each job carries a seed derived from its *key* (the axis values, chained
+// through Rng::derive_seed), not from shared generator state or from its
+// position in the grid — so stochastic jobs (MBPTA, simulation) are
+// reproducible under any thread count and their seeds survive adding or
+// reordering axis values elsewhere in the spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "fault/fault_model.hpp"
+#include "mbpta/mbpta.hpp"
+#include "support/types.hpp"
+#include "wcet/fmm.hpp"
+
+namespace pwcet {
+
+/// What to compute for one grid cell.
+enum class AnalysisKind : std::uint8_t {
+  kSpta,        ///< static pWCET analysis (the paper's pipeline)
+  kMbpta,       ///< measurement-based EVT estimate over a chip population
+  kSimulation,  ///< Monte-Carlo fault injection on the heavy path
+};
+
+/// Short name ("spta" / "mbpta" / "sim").
+std::string analysis_kind_name(AnalysisKind kind);
+
+/// Short engine name ("ilp" / "tree").
+std::string engine_name(WcetEngine engine);
+
+/// One axis-per-member cartesian sweep. Empty required axes are rejected
+/// by validate(); `engines` and `kinds` default to the common case.
+struct CampaignSpec {
+  std::vector<std::string> tasks;        ///< workload names
+  std::vector<CacheConfig> geometries;   ///< cache configurations
+  std::vector<Probability> pfails;       ///< cell failure probabilities
+  std::vector<Mechanism> mechanisms;     ///< none / RW / SRB
+  std::vector<WcetEngine> engines{WcetEngine::kIlp};
+  std::vector<AnalysisKind> kinds{AnalysisKind::kSpta};
+
+  Probability target_exceedance = 1e-15;  ///< pWCET quantile reported
+  std::size_t max_distribution_points = 2048;
+  MbptaOptions mbpta{};             ///< population size etc. for kMbpta
+  std::size_t simulation_chips = 1000;  ///< population size for kSimulation
+  std::uint64_t base_seed = 0x5eed;
+
+  std::size_t job_count() const {
+    return tasks.size() * geometries.size() * pfails.size() *
+           mechanisms.size() * engines.size() * kinds.size();
+  }
+
+  void validate() const;
+};
+
+/// One cell of the expanded grid: resolved axis values plus the axis
+/// indices (for pivoting results back into tables) and the derived seed.
+struct CampaignJob {
+  std::size_t index = 0;  ///< position in expansion order
+
+  std::size_t task_i = 0, geometry_i = 0, pfail_i = 0;
+  std::size_t mechanism_i = 0, engine_i = 0, kind_i = 0;
+
+  std::string task;
+  CacheConfig geometry;
+  Probability pfail = 0.0;
+  Mechanism mechanism = Mechanism::kNone;
+  WcetEngine engine = WcetEngine::kIlp;
+  AnalysisKind kind = AnalysisKind::kSpta;
+
+  std::uint64_t seed = 0;  ///< per-job RNG seed, derived from the key
+
+  /// Stable human-readable id, e.g. "adpcm/16x4x16B/1.0e-04/SRB/ilp/spta".
+  std::string id() const;
+};
+
+/// Seed for one job key (exposed so tests can pin the derivation).
+std::uint64_t campaign_job_seed(const CampaignSpec& spec,
+                                const CampaignJob& job);
+
+/// Unrolls the sweep in fixed row-major order: tasks outermost, then
+/// geometries, pfails, mechanisms, engines, kinds innermost.
+std::vector<CampaignJob> expand_campaign(const CampaignSpec& spec);
+
+/// Index of a cell in expansion order (inverse of the job's axis indices).
+std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
+                               std::size_t geometry_i, std::size_t pfail_i,
+                               std::size_t mechanism_i,
+                               std::size_t engine_i = 0,
+                               std::size_t kind_i = 0);
+
+}  // namespace pwcet

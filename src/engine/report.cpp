@@ -1,0 +1,129 @@
+#include "engine/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+namespace pwcet {
+namespace {
+
+/// Shortest decimal that round-trips the double exactly — deterministic
+/// for identical bits, which the determinism tests rely on.
+std::string fmt_exact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Single source of truth for column names and their JSON type, so the
+/// quoting decision cannot drift from the column order.
+struct Column {
+  const char* name;
+  bool json_string;
+};
+
+constexpr Column kColumns[] = {
+    {"task", true},         {"sets", false},
+    {"ways", false},        {"line_bytes", false},
+    {"pfail", false},       {"mech", true},
+    {"engine", true},       {"kind", true},
+    // seed: a full 64-bit value would be silently rounded by double-based
+    // JSON parsers (jq, JavaScript), so it travels as a string.
+    {"seed", true},         {"wcet_ff", false},
+    {"pwcet", false},       {"observed_max", false},
+    {"penalty_mean", false}, {"penalty_points", false},
+};
+
+}  // namespace
+
+std::vector<std::string> report_columns() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kColumns));
+  for (const Column& column : kColumns) names.push_back(column.name);
+  return names;
+}
+
+std::vector<std::string> report_row(const CampaignResult& campaign,
+                                    const JobResult& result) {
+  (void)campaign;
+  const CampaignJob& job = result.job;
+  return {job.task,
+          std::to_string(job.geometry.sets),
+          std::to_string(job.geometry.ways),
+          std::to_string(job.geometry.line_bytes),
+          fmt_exact(job.pfail),
+          mechanism_name(job.mechanism),
+          engine_name(job.engine),
+          analysis_kind_name(job.kind),
+          fmt_u64(job.seed),
+          std::to_string(result.fault_free_wcet),
+          fmt_exact(result.pwcet),
+          fmt_exact(result.observed_max),
+          fmt_exact(result.penalty_mean),
+          std::to_string(result.penalty_points)};
+}
+
+TextTable report_table(const CampaignResult& campaign) {
+  TextTable table(report_columns());
+  for (const JobResult& result : campaign.results)
+    table.add_row(report_row(campaign, result));
+  return table;
+}
+
+std::string report_csv(const CampaignResult& campaign) {
+  return report_table(campaign).to_csv();
+}
+
+std::string report_jsonl(const CampaignResult& campaign) {
+  std::string out;
+  for (const JobResult& result : campaign.results) {
+    const std::vector<std::string> row = report_row(campaign, result);
+    out += '{';
+    for (std::size_t c = 0; c < std::size(kColumns); ++c) {
+      out += '"';
+      out += kColumns[c].name;
+      out += "\":";
+      if (kColumns[c].json_string) {
+        out += '"';
+        out += json_escape(row[c]);
+        out += '"';
+      } else {
+        out += row[c];
+      }
+      if (c + 1 < std::size(kColumns)) out += ',';
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool write_report_files(const CampaignResult& campaign,
+                        const std::string& basename) {
+  std::ofstream csv(basename + ".csv", std::ios::binary);
+  csv << report_csv(campaign);
+  csv.close();  // flush before checking: buffered write errors (disk
+                // full, quota) only surface at flush time
+  std::ofstream jsonl(basename + ".jsonl", std::ios::binary);
+  jsonl << report_jsonl(campaign);
+  jsonl.close();
+  return !csv.fail() && !jsonl.fail();
+}
+
+}  // namespace pwcet

@@ -1,0 +1,41 @@
+// Structured result emission for campaign runs.
+//
+// One row per job, in expansion order, rendered as CSV (via
+// support/table's TextTable, so the same rows also print as an aligned
+// text table) or as JSON lines (one object per row, BENCH_*.json-style).
+// Rendering is bitwise deterministic: numbers are formatted with fixed
+// printf conversions ("%.17g" round-trips doubles exactly), and nothing
+// timing- or machine-dependent enters a row — which is what lets the
+// tests assert that an N-thread campaign reproduces a 1-thread campaign
+// byte for byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/runner.hpp"
+#include "support/table.hpp"
+
+namespace pwcet {
+
+/// Column names of the tabular report, in order.
+std::vector<std::string> report_columns();
+
+/// One formatted row (same order as report_columns()).
+std::vector<std::string> report_row(const CampaignResult& campaign,
+                                    const JobResult& result);
+
+/// The whole campaign as an aligned text table.
+TextTable report_table(const CampaignResult& campaign);
+
+/// The whole campaign as CSV (header + one line per job).
+std::string report_csv(const CampaignResult& campaign);
+
+/// The whole campaign as JSON lines (one object per job, no header).
+std::string report_jsonl(const CampaignResult& campaign);
+
+/// Writes `basename`.csv and `basename`.jsonl; returns false on I/O error.
+bool write_report_files(const CampaignResult& campaign,
+                        const std::string& basename);
+
+}  // namespace pwcet

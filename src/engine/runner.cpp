@@ -1,0 +1,176 @@
+#include "engine/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "core/pwcet_analyzer.hpp"
+#include "engine/thread_pool.hpp"
+#include "fault/fault_map.hpp"
+#include "mbpta/mbpta.hpp"
+#include "sim/cache_sim.hpp"
+#include "sim/path.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "workloads/malardalen.hpp"
+
+namespace pwcet {
+namespace {
+
+JobResult run_spta(const CampaignJob& job, const PwcetAnalyzer& analyzer,
+                   const CampaignSpec& spec) {
+  JobResult r;
+  r.job = job;
+  const PwcetResult res =
+      analyzer.analyze(FaultModel(job.pfail), job.mechanism);
+  r.fault_free_wcet = analyzer.fault_free_wcet();
+  r.pwcet = static_cast<double>(res.pwcet(spec.target_exceedance));
+  r.penalty_mean = res.penalty.mean();
+  r.penalty_points = res.penalty.size();
+  return r;
+}
+
+JobResult run_mbpta_job(const CampaignJob& job, const Program& program,
+                        const CampaignSpec& spec) {
+  JobResult r;
+  r.job = job;
+  MbptaOptions options = spec.mbpta;
+  options.seed = job.seed;  // per-job stream, not the spec-wide default
+  const MbptaResult res = run_mbpta(program, job.geometry,
+                                    FaultModel(job.pfail), job.mechanism,
+                                    options);
+  r.pwcet = res.pwcet(spec.target_exceedance);
+  r.observed_max = res.observed_max;
+  return r;
+}
+
+JobResult run_simulation_job(const CampaignJob& job, const Program& program,
+                             const CampaignSpec& spec) {
+  // Monte-Carlo fault injection: sample a chip population, run the heavy
+  // structural path on each, report the empirical tail. No extrapolation:
+  // at certification-grade targets the empirical quantile is the observed
+  // maximum — the point of this kind is cross-validating the static bound.
+  JobResult r;
+  r.job = job;
+  const FaultModel faults(job.pfail);
+  const Probability pbf = faults.block_failure_probability(job.geometry);
+  const std::vector<Address> trace =
+      fetch_trace(program.cfg(), heavy_walk(program));
+
+  Rng rng(job.seed);
+  std::vector<double> times;
+  times.reserve(spec.simulation_chips);
+  for (std::size_t chip = 0; chip < spec.simulation_chips; ++chip) {
+    const FaultMap map = FaultMap::sample(job.geometry, pbf, rng);
+    const SimStats stats = simulate_trace(job.geometry, map, job.mechanism,
+                                          trace);
+    times.push_back(static_cast<double>(stats.cycles));
+  }
+  r.observed_max = *std::max_element(times.begin(), times.end());
+  r.pwcet = empirical_quantile(times, 1.0 - spec.target_exceedance);
+  return r;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunnerOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
+  const std::vector<CampaignJob> jobs = expand_campaign(spec);
+
+  ThreadPool pool(options.threads);
+
+  CampaignResult campaign;
+  campaign.spec = spec;
+  campaign.results.resize(jobs.size());
+  campaign.threads_used = pool.thread_count();
+
+  // Group jobs that can share one analyzer / one program build. std::map
+  // keeps submission order deterministic.
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+           std::vector<std::size_t>>
+      groups;
+  for (const CampaignJob& job : jobs)
+    groups[{job.task_i, job.geometry_i, job.engine_i}].push_back(job.index);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(groups.size());
+  for (const auto& [key, members] : groups) {
+    futures.push_back(pool.submit([&spec, &jobs, &campaign, &pool, &options,
+                                   members = &members] {
+      const CampaignJob& first = jobs[members->front()];
+      const Program program = workloads::build(first.task);
+
+      // Built on first SPTA cell; SRB/RW/pfail cells reuse it (the FMM
+      // bundle covers all mechanisms, per core/pwcet_analyzer.hpp).
+      std::optional<PwcetAnalyzer> analyzer;
+      PwcetOptions popts;
+      popts.engine = first.engine;
+      popts.max_distribution_points = spec.max_distribution_points;
+      popts.pool = options.parallel_sets ? &pool : nullptr;
+
+      for (const std::size_t index : *members) {
+        const CampaignJob& job = jobs[index];
+        switch (job.kind) {
+          case AnalysisKind::kSpta:
+            if (!analyzer) analyzer.emplace(program, job.geometry, popts);
+            campaign.results[index] = run_spta(job, *analyzer, spec);
+            break;
+          case AnalysisKind::kMbpta:
+            campaign.results[index] = run_mbpta_job(job, program, spec);
+            break;
+          case AnalysisKind::kSimulation:
+            campaign.results[index] = run_simulation_job(job, program, spec);
+            break;
+        }
+      }
+    }));
+  }
+
+  // Block without helping: the submitting thread is not one of the
+  // campaign's workers, and letting it steal group tasks would make a
+  // "threads = 1" run execute on two threads — corrupting threads_used
+  // and every wall-clock/speedup number derived from it. Helping is only
+  // needed for nested waits *on* pool threads (map_indexed does that).
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  campaign.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  return campaign;
+}
+
+std::size_t threads_from_env() {
+  const char* env = std::getenv("PWCET_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  // Unparsable or negative-wrapped values fall back to the default rather
+  // than asking the pool for ~2^64 workers; 256 is far beyond any host.
+  constexpr unsigned long kMaxThreads = 256;
+  if (end == env || *end != '\0' || value > kMaxThreads) {
+    std::fprintf(stderr,
+                 "pwcet: ignoring PWCET_THREADS='%s' (want 0..%lu); using "
+                 "hardware default\n",
+                 env, kMaxThreads);
+    return 0;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace pwcet

@@ -1,0 +1,67 @@
+// Campaign execution on the thread pool.
+//
+// Jobs sharing a (task, geometry, engine) prefix also share the expensive
+// analyzer state (reference extraction, fault-free IPET, FMM bundle), so
+// the runner groups them: each group is one pool task that builds the
+// analyzer once and walks its cells in expansion order, writing results
+// into pre-sized slots indexed by job position. Inside a group, a single
+// analysis additionally fans its per-set work out on the *same* pool
+// (workers help while waiting, so nesting cannot deadlock).
+//
+// Determinism contract: for a fixed spec, the CampaignResult — and hence
+// any report rendered from it — is byte-identical for every thread count.
+// This relies on (a) slot-indexed result collection, (b) per-job seeds
+// derived from job keys, and (c) fixed-shape parallel reductions inside
+// the analyzer (see core/pwcet_analyzer.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "support/types.hpp"
+
+namespace pwcet {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  std::size_t threads = 0;
+  /// Also fan the per-set work inside each analysis onto the pool.
+  bool parallel_sets = true;
+};
+
+/// Outcome of one campaign job. Which fields are meaningful depends on the
+/// job's AnalysisKind; unused fields stay 0.
+struct JobResult {
+  CampaignJob job;
+  Cycles fault_free_wcet = 0;   ///< SPTA only
+  double pwcet = 0.0;           ///< estimate at spec.target_exceedance
+  double observed_max = 0.0;    ///< MBPTA / simulation only
+  double penalty_mean = 0.0;    ///< SPTA: mean fault-induced penalty
+  std::size_t penalty_points = 0;  ///< SPTA: support size kept
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<JobResult> results;  ///< expansion order (spec grid order)
+  std::size_t threads_used = 0;
+  double wall_seconds = 0.0;  ///< timing only; never rendered into reports
+
+  const JobResult& at(std::size_t task_i, std::size_t geometry_i,
+                      std::size_t pfail_i, std::size_t mechanism_i,
+                      std::size_t engine_i = 0, std::size_t kind_i = 0) const {
+    return results[campaign_job_index(spec, task_i, geometry_i, pfail_i,
+                                      mechanism_i, engine_i, kind_i)];
+  }
+};
+
+/// Expands and executes the campaign. Exceptions thrown by jobs are
+/// rethrown (first in expansion order) after all jobs finished.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunnerOptions& options = {});
+
+/// Worker-thread count for benches: PWCET_THREADS if set, else 0 (= one
+/// per hardware thread).
+std::size_t threads_from_env();
+
+}  // namespace pwcet

@@ -1,0 +1,66 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace pwcet {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    // Helpers pop LIFO (workers pop FIFO): a thread waiting inside a
+    // nested fan-out then prefers the freshly submitted subtasks — its
+    // own, usually — over older top-level jobs. Popping FIFO here would
+    // let a helper recursively execute whole unrelated top-level tasks,
+    // nesting a stack frame per job in the worst case.
+    task = std::move(queue_.back());
+    queue_.pop_back();
+  }
+  task();
+  done_.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::wait_for_work_or_completion() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!queue_.empty()) return;
+  // Plain (non-predicate) wait: any task completion must wake us so the
+  // caller can re-check its future; the timeout only guards against the
+  // completion slipping in between our queue check and the wait.
+  done_.wait_for(lock, std::chrono::milliseconds(1));
+}
+
+}  // namespace pwcet

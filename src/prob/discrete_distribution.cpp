@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "engine/thread_pool.hpp"
 #include "support/contracts.hpp"
 
 namespace pwcet {
@@ -189,6 +190,31 @@ DiscreteDistribution convolve_all(
   for (const auto& part : parts)
     acc = acc.convolve(part).coalesce_up(max_points);
   return acc;
+}
+
+DiscreteDistribution convolve_all_tree(
+    const std::vector<DiscreteDistribution>& parts, std::size_t max_points,
+    ThreadPool* pool) {
+  if (parts.empty()) return DiscreteDistribution();
+  std::vector<DiscreteDistribution> level = parts;
+  while (level.size() > 1) {
+    const std::size_t pairs = level.size() / 2;
+    auto reduce_pair = [&](std::size_t i) {
+      return level[2 * i].convolve(level[2 * i + 1]).coalesce_up(max_points);
+    };
+    std::vector<DiscreteDistribution> next;
+    if (pool != nullptr) {
+      next = pool->map_indexed(pairs, reduce_pair);
+    } else {
+      next.reserve(pairs + 1);
+      for (std::size_t i = 0; i < pairs; ++i)
+        next.push_back(reduce_pair(i));
+    }
+    if (level.size() % 2 != 0) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  // A single oversized input must still honour the budget.
+  return level.front().coalesce_up(max_points);
 }
 
 }  // namespace pwcet

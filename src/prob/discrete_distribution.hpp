@@ -95,4 +95,20 @@ class DiscreteDistribution {
 DiscreteDistribution convolve_all(
     const std::vector<DiscreteDistribution>& parts, std::size_t max_points);
 
+class ThreadPool;
+
+/// Pairwise (tree-shaped) variant of convolve_all: each round convolves
+/// fixed neighbour pairs (0,1), (2,3), ... and coalesces, halving the list
+/// until one distribution remains. Two advantages over the left fold:
+/// each round's pairings are independent, so with a `pool`
+/// (engine/thread_pool.hpp) they run concurrently — bit-identical to the
+/// serial result at any thread count, since the tree shape is fixed; and
+/// only O(log n) coalescing steps stack up on any leaf-to-root path (vs
+/// O(n) on the fold's spine), so the accumulated upper-bound slack is
+/// smaller. Every merge only moves probability mass onto larger values, so
+/// the result still stochastically dominates the exact convolution.
+DiscreteDistribution convolve_all_tree(
+    const std::vector<DiscreteDistribution>& parts, std::size_t max_points,
+    ThreadPool* pool = nullptr);
+
 }  // namespace pwcet

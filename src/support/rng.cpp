@@ -43,6 +43,25 @@ double Rng::next_double() {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Condense the 256-bit state into 64 bits (rotations decorrelate the
+  // words) and mix in the stream id; the child reseeds through SplitMix64
+  // as usual, so children of distinct ids — and of distinct parent states —
+  // start from well-separated states.
+  const std::uint64_t digest = state_[0] ^ rotl(state_[1], 13) ^
+                               rotl(state_[2], 27) ^ rotl(state_[3], 41);
+  return Rng(derive_seed(digest, stream_id));
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t base_seed,
+                               std::uint64_t stream_id) {
+  // Offset by the golden-ratio increment per stream, then finalize; the
+  // +1 keeps stream 0 from collapsing to a plain splitmix64(base_seed)
+  // that a caller might also be using directly.
+  std::uint64_t x = base_seed + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+  return splitmix64(x);
+}
+
 std::uint64_t Rng::next_below(std::uint64_t bound) {
   PWCET_EXPECTS(bound > 0);
   const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound

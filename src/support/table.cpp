@@ -47,6 +47,30 @@ std::string TextTable::to_string() const {
   return out;
 }
 
+std::string TextTable::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += escape(row[c]);
+      line += (c + 1 == row.size()) ? "\n" : ",";
+    }
+    return line;
+  };
+  std::string out = emit_row(header_);
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
 std::string fmt_double(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, value);

@@ -18,6 +18,11 @@ class TextTable {
   /// Renders with right-aligned numeric-looking cells.
   std::string to_string() const;
 
+  /// Renders as RFC-4180-style CSV (header row first; cells containing
+  /// commas, quotes or newlines are quoted). Used by the campaign report
+  /// sink so every table the engine emits is also machine-readable.
+  std::string to_csv() const;
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/thread_pool.hpp"
 #include "icache/set_analysis.hpp"
 #include "icache/srb_analysis.hpp"
 #include "support/contracts.hpp"
@@ -49,72 +50,107 @@ void enforce_row_monotonicity(std::vector<double>& row, std::uint32_t last) {
     row[size_t(f)] = std::max(row[size_t(f)], row[size_t(f - 1)]);
 }
 
+/// FMM rows of one set for all three mechanisms.
+struct SetRows {
+  std::vector<double> none, rw, srb;
+};
+
+/// Computes the three FMM rows of set `s`. Pure in (program, config, refs,
+/// srb_hits) apart from the engine: the tree engine is stateless and may
+/// run concurrently for different sets; the ILP engine mutates `ipet`.
+SetRows compute_set_rows(const Program& program, const CacheConfig& config,
+                         const ReferenceMap& refs, const SrbHitMap& srb_hits,
+                         SetIndex s, WcetEngine engine,
+                         IpetCalculator* ipet) {
+  const ControlFlowGraph& cfg = program.cfg();
+  const std::uint32_t ways = config.ways;
+  SetRows rows{std::vector<double>(ways + 1, 0.0),
+               std::vector<double>(ways + 1, 0.0),
+               std::vector<double>(ways + 1, 0.0)};
+  if (set_unused(refs, s)) return rows;  // all-zero rows
+
+  const SetAnalysis fault_free(cfg, refs, s, ways);
+
+  // Shared partial-fault columns f = 1 .. W-1 (line granularity).
+  for (std::uint32_t f = 1; f < ways; ++f) {
+    const SetAnalysis degraded(cfg, refs, s, ways - f);
+    const CostModel model =
+        build_delta_miss_model(cfg, refs, s, fault_free, &degraded,
+                               FullFaultSemantics::kUnprotected, nullptr);
+    const double bound = maximize_delta(program, model, engine, ipet);
+    rows.none[size_t(f)] = bound;
+    rows.rw[size_t(f)] = bound;
+    rows.srb[size_t(f)] = bound;
+  }
+
+  // f == W, no protection: every fetch of the set misses.
+  {
+    const CostModel model =
+        build_delta_miss_model(cfg, refs, s, fault_free, nullptr,
+                               FullFaultSemantics::kUnprotected, nullptr);
+    rows.none[size_t(ways)] = maximize_delta(program, model, engine, ipet);
+  }
+  // f == W, SRB: SRB-always-hit references removed (§III-B.2).
+  {
+    const CostModel model =
+        build_delta_miss_model(cfg, refs, s, fault_free, nullptr,
+                               FullFaultSemantics::kSrb, &srb_hits);
+    rows.srb[size_t(ways)] = maximize_delta(program, model, engine, ipet);
+  }
+  // f == W, RW: unreachable (Eq. 3); the column stays 0 and is never
+  // weighted (the RW pwf vector has no f == W entry).
+
+  enforce_row_monotonicity(rows.none, ways);
+  enforce_row_monotonicity(rows.rw, ways - 1);
+  enforce_row_monotonicity(rows.srb, ways);
+  return rows;
+}
+
 }  // namespace
 
 FmmBundle compute_fmm_bundle(const Program& program,
                              const CacheConfig& config,
                              const ReferenceMap& refs, WcetEngine engine,
-                             IpetCalculator* ipet) {
+                             IpetCalculator* ipet, ThreadPool* pool) {
   config.validate();
   const ControlFlowGraph& cfg = program.cfg();
-  const std::uint32_t ways = config.ways;
-
-  auto empty_map = [&] {
-    FaultMissMap m;
-    m.misses.assign(config.sets, std::vector<double>(ways + 1, 0.0));
-    return m;
-  };
-  FmmBundle bundle{empty_map(), empty_map(), empty_map()};
 
   const SrbHitMap srb_hits = analyze_srb(cfg, refs);
 
-  for (SetIndex s = 0; s < config.sets; ++s) {
-    if (set_unused(refs, s)) continue;  // all-zero row
+  std::vector<SetRows> rows;
+  if (pool != nullptr && engine == WcetEngine::kTree) {
+    // Warm the CFG's lazily built loop cache before sharing it read-only
+    // across pool threads (the build is not synchronized).
+    if (cfg.block_count() > 0) cfg.innermost_loop(cfg.entry());
+    rows = pool->map_indexed(config.sets, [&](std::size_t s) {
+      return compute_set_rows(program, config, refs, srb_hits,
+                              static_cast<SetIndex>(s), engine, nullptr);
+    });
+  } else {
+    rows.reserve(config.sets);
+    for (SetIndex s = 0; s < config.sets; ++s)
+      rows.push_back(compute_set_rows(program, config, refs, srb_hits, s,
+                                      engine, ipet));
+  }
 
-    const SetAnalysis fault_free(cfg, refs, s, ways);
-
-    // Shared partial-fault columns f = 1 .. W-1 (line granularity).
-    for (std::uint32_t f = 1; f < ways; ++f) {
-      const SetAnalysis degraded(cfg, refs, s, ways - f);
-      const CostModel model = build_delta_miss_model(
-          cfg, refs, s, fault_free, &degraded,
-          FullFaultSemantics::kUnprotected, nullptr);
-      const double bound = maximize_delta(program, model, engine, ipet);
-      bundle.none.misses[size_t(s)][size_t(f)] = bound;
-      bundle.rw.misses[size_t(s)][size_t(f)] = bound;
-      bundle.srb.misses[size_t(s)][size_t(f)] = bound;
-    }
-
-    // f == W, no protection: every fetch of the set misses.
-    {
-      const CostModel model = build_delta_miss_model(
-          cfg, refs, s, fault_free, nullptr,
-          FullFaultSemantics::kUnprotected, nullptr);
-      bundle.none.misses[size_t(s)][size_t(ways)] =
-          maximize_delta(program, model, engine, ipet);
-    }
-    // f == W, SRB: SRB-always-hit references removed (§III-B.2).
-    {
-      const CostModel model =
-          build_delta_miss_model(cfg, refs, s, fault_free, nullptr,
-                                 FullFaultSemantics::kSrb, &srb_hits);
-      bundle.srb.misses[size_t(s)][size_t(ways)] =
-          maximize_delta(program, model, engine, ipet);
-    }
-    // f == W, RW: unreachable (Eq. 3); the column stays 0 and is never
-    // weighted (the RW pwf vector has no f == W entry).
-
-    enforce_row_monotonicity(bundle.none.misses[size_t(s)], ways);
-    enforce_row_monotonicity(bundle.rw.misses[size_t(s)], ways - 1);
-    enforce_row_monotonicity(bundle.srb.misses[size_t(s)], ways);
+  FmmBundle bundle;
+  bundle.none.misses.reserve(config.sets);
+  bundle.rw.misses.reserve(config.sets);
+  bundle.srb.misses.reserve(config.sets);
+  for (SetRows& r : rows) {
+    bundle.none.misses.push_back(std::move(r.none));
+    bundle.rw.misses.push_back(std::move(r.rw));
+    bundle.srb.misses.push_back(std::move(r.srb));
   }
   return bundle;
 }
 
 FaultMissMap compute_fmm(const Program& program, const CacheConfig& config,
                          const ReferenceMap& refs, Mechanism mechanism,
-                         WcetEngine engine, IpetCalculator* ipet) {
-  return compute_fmm_bundle(program, config, refs, engine, ipet).of(mechanism);
+                         WcetEngine engine, IpetCalculator* ipet,
+                         ThreadPool* pool) {
+  return compute_fmm_bundle(program, config, refs, engine, ipet, pool)
+      .of(mechanism);
 }
 
 }  // namespace pwcet

@@ -23,6 +23,8 @@
 
 namespace pwcet {
 
+class ThreadPool;
+
 /// Which engine maximizes the delta objectives.
 enum class WcetEngine : std::uint8_t {
   kIlp,   ///< IPET via the shared simplex (paper-faithful; LP bound)
@@ -44,9 +46,17 @@ struct FaultMissMap {
 /// The `ipet` calculator must belong to `program`; it is reused across all
 /// (set, f) objectives (one phase-1 total). Pass nullptr with
 /// `engine == kTree`.
+///
+/// With a `pool` and `engine == kTree`, the per-set rows (independent by
+/// construction) are fanned out across the pool; results are identical to
+/// the serial computation. The ILP engine always runs serially even with a
+/// pool: its warm-started shared simplex is stateful, and fresh per-set
+/// calculators would perturb LP round-off and break the byte-identity
+/// guarantee between 1-thread and N-thread campaign runs.
 FaultMissMap compute_fmm(const Program& program, const CacheConfig& config,
                          const ReferenceMap& refs, Mechanism mechanism,
-                         WcetEngine engine, IpetCalculator* ipet);
+                         WcetEngine engine, IpetCalculator* ipet,
+                         ThreadPool* pool = nullptr);
 
 /// FMMs of all three mechanisms. The f < W columns are mechanism-
 /// independent and computed once; only the f == W column differs
@@ -72,6 +82,6 @@ struct FmmBundle {
 FmmBundle compute_fmm_bundle(const Program& program,
                              const CacheConfig& config,
                              const ReferenceMap& refs, WcetEngine engine,
-                             IpetCalculator* ipet);
+                             IpetCalculator* ipet, ThreadPool* pool = nullptr);
 
 }  // namespace pwcet

@@ -1,0 +1,272 @@
+// Unit tests for the campaign engine: thread pool (ordering, exceptions,
+// nesting), RNG substreams, campaign expansion, and the determinism
+// contract (an N-thread campaign reproduces a 1-thread campaign byte for
+// byte).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "core/pwcet_analyzer.hpp"
+#include "engine/campaign.hpp"
+#include "engine/report.hpp"
+#include "engine/runner.hpp"
+#include "engine/thread_pool.hpp"
+#include "support/rng.hpp"
+#include "workloads/malardalen.hpp"
+
+namespace pwcet {
+namespace {
+
+TEST(ThreadPool, ResultsInSubmissionOrder) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  const auto results = pool.map_indexed(
+      1000, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(results.size(), 1000u);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, ManySmallJobsStress) {
+  ThreadPool pool(8);
+  std::atomic<int> executed{0};
+  const auto results = pool.map_indexed(5000, [&](std::size_t i) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    return i;
+  });
+  EXPECT_EQ(executed.load(), 5000);
+  EXPECT_EQ(results.size(), 5000u);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToWaiter) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.map_indexed(100,
+                                [](std::size_t i) {
+                                  if (i == 37)
+                                    throw std::runtime_error("job 37");
+                                  return i;
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing batch.
+  const auto ok = pool.map_indexed(8, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(ok.size(), 8u);
+}
+
+TEST(ThreadPool, NestedFanOutDoesNotDeadlock) {
+  // Jobs submit sub-jobs to the same pool and wait for them: with only one
+  // worker this deadlocks unless waiting threads help drain the queue.
+  ThreadPool pool(1);
+  const auto results = pool.map_indexed(4, [&](std::size_t i) {
+    const auto inner =
+        pool.map_indexed(4, [i](std::size_t j) { return i * 10 + j; });
+    std::size_t sum = 0;
+    for (const std::size_t v : inner) sum += v;
+    return sum;
+  });
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(results[i], 40 * i + 6);
+}
+
+TEST(RngSplit, DeterministicAndIndependentOfParentDraws) {
+  const Rng parent(123);
+  Rng a = parent.split(7);
+  Rng b = parent.split(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  // split() is const: drawing from a child does not disturb the parent.
+  Rng c = parent.split(8);
+  Rng d = parent.split(7);
+  Rng e = parent.split(7);
+  EXPECT_EQ(d.next_u64(), e.next_u64());
+  (void)c;
+}
+
+TEST(RngSplit, DistinctStreamsDiverge) {
+  const Rng parent(99);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngSplit, DeriveSeedSeparatesStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream)
+    seeds.insert(Rng::derive_seed(42, stream));
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(Rng::derive_seed(1, 0), Rng::derive_seed(2, 0));
+}
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.tasks = {"fibcall", "bs"};
+  CacheConfig small = CacheConfig::paper_default();
+  CacheConfig tiny = CacheConfig::paper_default();
+  tiny.sets = 8;
+  tiny.ways = 2;
+  spec.geometries = {small, tiny};
+  spec.pfails = {1e-4, 1e-3};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kReliableWay,
+                     Mechanism::kSharedReliableBuffer};
+  return spec;
+}
+
+TEST(Campaign, ExpandsTheFullGrid) {
+  const CampaignSpec spec = small_spec();
+  const auto jobs = expand_campaign(spec);
+  ASSERT_EQ(jobs.size(), 2u * 2u * 2u * 3u);
+  ASSERT_EQ(jobs.size(), spec.job_count());
+
+  // Expansion order is row-major with kinds innermost; indices invert it.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CampaignJob& job = jobs[i];
+    EXPECT_EQ(job.index, i);
+    EXPECT_EQ(campaign_job_index(spec, job.task_i, job.geometry_i,
+                                 job.pfail_i, job.mechanism_i, job.engine_i,
+                                 job.kind_i),
+              i);
+    EXPECT_EQ(job.task, spec.tasks[job.task_i]);
+    EXPECT_EQ(job.pfail, spec.pfails[job.pfail_i]);
+    EXPECT_EQ(job.mechanism, spec.mechanisms[job.mechanism_i]);
+    EXPECT_EQ(job.geometry.sets, spec.geometries[job.geometry_i].sets);
+  }
+  // First axis to move is the innermost one.
+  EXPECT_EQ(jobs[0].mechanism_i, 0u);
+  EXPECT_EQ(jobs[1].mechanism_i, 1u);
+  EXPECT_EQ(jobs[0].task_i, 0u);
+  EXPECT_EQ(jobs.back().task_i, 1u);
+}
+
+TEST(Campaign, SeedsAreUniqueAndKeyedByValues) {
+  const CampaignSpec spec = small_spec();
+  const auto jobs = expand_campaign(spec);
+  std::set<std::uint64_t> seeds;
+  for (const CampaignJob& job : jobs) seeds.insert(job.seed);
+  EXPECT_EQ(seeds.size(), jobs.size());
+
+  // Seeds depend on the job's own axis values, not on grid position:
+  // extending an axis must not reseed pre-existing cells.
+  CampaignSpec wider = spec;
+  wider.pfails.push_back(1e-6);
+  const auto wider_jobs = expand_campaign(wider);
+  for (const CampaignJob& job : jobs) {
+    const CampaignJob& same = wider_jobs[campaign_job_index(
+        wider, job.task_i, job.geometry_i, job.pfail_i, job.mechanism_i,
+        job.engine_i, job.kind_i)];
+    EXPECT_EQ(job.seed, same.seed) << job.id();
+  }
+
+  // A different base seed moves every stream.
+  CampaignSpec reseeded = spec;
+  reseeded.base_seed = spec.base_seed + 1;
+  EXPECT_NE(expand_campaign(reseeded)[0].seed, jobs[0].seed);
+}
+
+TEST(Campaign, JobIdNamesEveryAxis) {
+  const auto jobs = expand_campaign(small_spec());
+  EXPECT_EQ(jobs[0].id(), "fibcall/16x4x16B/1.0e-04/none/ilp/spta");
+}
+
+TEST(Runner, TwoThreadRunIsByteIdenticalToOneThread) {
+  CampaignSpec spec = small_spec();
+  spec.kinds = {AnalysisKind::kSpta, AnalysisKind::kMbpta,
+                AnalysisKind::kSimulation};
+  spec.mbpta.chips = 40;
+  spec.mbpta.block_size = 10;
+  spec.simulation_chips = 50;
+
+  RunnerOptions serial;
+  serial.threads = 1;
+  RunnerOptions parallel;
+  parallel.threads = 2;
+
+  const CampaignResult a = run_campaign(spec, serial);
+  const CampaignResult b = run_campaign(spec, parallel);
+  EXPECT_EQ(a.threads_used, 1u);
+  EXPECT_EQ(b.threads_used, 2u);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  EXPECT_EQ(report_csv(a), report_csv(b));
+  EXPECT_EQ(report_jsonl(a), report_jsonl(b));
+}
+
+TEST(Runner, PooledAnalyzerMatchesSerialAnalyzer) {
+  // The per-set fan-out and pooled tree reduction inside one analysis must
+  // not change a single bit of the result.
+  const Program program = workloads::build("fibcall");
+  const CacheConfig config = CacheConfig::paper_default();
+  const FaultModel faults(1e-4);
+
+  const PwcetAnalyzer serial(program, config);
+  ThreadPool pool(3);
+  PwcetOptions pooled_options;
+  pooled_options.pool = &pool;
+  const PwcetAnalyzer pooled(program, config, pooled_options);
+
+  EXPECT_EQ(serial.fault_free_wcet(), pooled.fault_free_wcet());
+  for (const Mechanism m : {Mechanism::kNone, Mechanism::kReliableWay,
+                            Mechanism::kSharedReliableBuffer}) {
+    const PwcetResult rs = serial.analyze(faults, m);
+    const PwcetResult rp = pooled.analyze(faults, m);
+    EXPECT_EQ(rs.penalty, rp.penalty);
+    EXPECT_EQ(rs.pwcet(1e-15), rp.pwcet(1e-15));
+  }
+}
+
+TEST(Runner, TreeEngineCampaignIsDeterministicToo) {
+  CampaignSpec spec;
+  spec.tasks = {"fibcall"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer};
+  spec.engines = {WcetEngine::kTree};
+
+  RunnerOptions serial;
+  serial.threads = 1;
+  RunnerOptions parallel;
+  parallel.threads = 4;
+  EXPECT_EQ(report_csv(run_campaign(spec, serial)),
+            report_csv(run_campaign(spec, parallel)));
+}
+
+TEST(Runner, SimulationNeverExceedsStaticBound) {
+  CampaignSpec spec;
+  spec.tasks = {"bs"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-3};
+  spec.mechanisms = {Mechanism::kNone};
+  spec.kinds = {AnalysisKind::kSpta, AnalysisKind::kSimulation};
+  spec.simulation_chips = 200;
+
+  const CampaignResult campaign = run_campaign(spec, {});
+  const JobResult& spta = campaign.at(0, 0, 0, 0, 0, 0);
+  const JobResult& sim = campaign.at(0, 0, 0, 0, 0, 1);
+  EXPECT_GT(spta.pwcet, 0.0);
+  // The static bound must dominate every simulated execution.
+  EXPECT_GE(spta.pwcet, sim.observed_max);
+}
+
+TEST(Report, ShapesAreConsistent) {
+  CampaignSpec spec;
+  spec.tasks = {"fibcall"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone};
+  const CampaignResult campaign = run_campaign(spec, {});
+
+  const std::string csv = report_csv(campaign);
+  // Header + one line per job.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(1 + campaign.results.size()));
+  const std::string jsonl = report_jsonl(campaign);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'),
+            static_cast<long>(campaign.results.size()));
+  EXPECT_NE(jsonl.find("\"task\":\"fibcall\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"spta\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pwcet
