@@ -5,10 +5,12 @@
 // IPET construction + solve, FMM bundle, and the full pWCET pipeline
 // (google-benchmark micro benches), plus the campaign engine's scenario
 // throughput: a geometry-sweep campaign timed at 1 thread and at N
-// threads, with the byte-identity of the two reports checked on the spot.
-// The campaign numbers are emitted as machine-readable JSON
-// (BENCH_perf_analysis_time.json and stdout) so the perf trajectory can be
-// tracked across PRs.
+// threads, with the byte-identity of the two reports checked on the spot,
+// and the content-addressed store's effect: the same campaign re-run warm
+// on a shared store (memo hit-rate, entries, warm vs cold wall-clock, and
+// byte-identity of the warm report). The campaign numbers are emitted as
+// machine-readable JSON (BENCH_perf_analysis_time.json and stdout) so the
+// perf trajectory can be tracked across PRs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -19,6 +21,7 @@
 #include "core/pwcet_analyzer.hpp"
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
+#include "store/analysis_store.hpp"
 #include "wcet/cost_model.hpp"
 #include "wcet/ipet.hpp"
 #include "wcet/tree_engine.hpp"
@@ -155,26 +158,59 @@ bool run_campaign_scaling(std::FILE* json) {
     threads = std::max(4u, std::thread::hardware_concurrency());
   threads = std::max<std::size_t>(4, threads);
 
+  // Every timing run gets its own explicit in-memory store: were the
+  // runs to resolve store options from the environment, a PWCET_CACHE_DIR
+  // artifact dir would let the first run disk-warm all later ones and
+  // corrupt every speedup and cold-vs-warm number below.
+  AnalysisStore base_store, wide_store, reuse_store;
   RunnerOptions serial;
   serial.threads = 1;
+  serial.shared_store = &base_store;
   RunnerOptions parallel;
   parallel.threads = threads;
+  parallel.shared_store = &wide_store;
 
   const CampaignResult base = run_campaign(spec, serial);
   const CampaignResult wide = run_campaign(spec, parallel);
-  const bool identical = report_csv(base) == report_csv(wide) &&
-                         report_jsonl(base) == report_jsonl(wide);
 
-  char line[512];
+  // Store effect: the same campaign cold (fresh shared store) and warm
+  // (second run on the same store, every analyzer core / penalty result
+  // already memoized). The warm report must not drift by a byte.
+  RunnerOptions stored = parallel;
+  stored.shared_store = &reuse_store;
+  const CampaignResult cold = run_campaign(spec, stored);
+  const CampaignResult warm = run_campaign(spec, stored);
+
+  const std::string base_csv = report_csv(base);
+  const bool identical = base_csv == report_csv(wide) &&
+                         report_jsonl(base) == report_jsonl(wide) &&
+                         base_csv == report_csv(cold) &&
+                         base_csv == report_csv(warm);
+
+  char line[1024];
   std::snprintf(
       line, sizeof line,
       "{\"name\":\"geometry_sweep_campaign\",\"jobs\":%zu,"
       "\"threads\":%zu,\"hardware_threads\":%u,"
       "\"wall_seconds_1_thread\":%.6f,\"wall_seconds_n_threads\":%.6f,"
-      "\"speedup\":%.3f,\"reports_identical\":%s}\n",
+      "\"speedup\":%.3f,"
+      "\"wall_seconds_cold_store\":%.6f,\"wall_seconds_warm_store\":%.6f,"
+      "\"warm_speedup\":%.3f,"
+      "\"store_cold_hits\":%llu,\"store_cold_misses\":%llu,"
+      "\"store_warm_hits\":%llu,\"store_warm_misses\":%llu,"
+      "\"store_warm_hit_rate\":%.3f,\"store_memo_entries\":%llu,"
+      "\"reports_identical\":%s}\n",
       base.results.size(), wide.threads_used,
       std::thread::hardware_concurrency(), base.wall_seconds,
       wide.wall_seconds, base.wall_seconds / wide.wall_seconds,
+      cold.wall_seconds, warm.wall_seconds,
+      cold.wall_seconds / warm.wall_seconds,
+      static_cast<unsigned long long>(cold.store_stats.hits),
+      static_cast<unsigned long long>(cold.store_stats.misses),
+      static_cast<unsigned long long>(warm.store_stats.hits),
+      static_cast<unsigned long long>(warm.store_stats.misses),
+      warm.store_stats.hit_rate(),
+      static_cast<unsigned long long>(warm.store_stats.entries),
       identical ? "true" : "false");
   std::fputs(line, stdout);
   if (json != nullptr) std::fputs(line, json);

@@ -26,11 +26,13 @@
 #include "cfg/program.hpp"
 #include "fault/fault_model.hpp"
 #include "prob/discrete_distribution.hpp"
+#include "store/key.hpp"
 #include "wcet/fmm.hpp"
 #include "wcet/ipet.hpp"
 
 namespace pwcet {
 
+class AnalysisStore;
 class ThreadPool;
 
 struct PwcetOptions {
@@ -47,6 +49,18 @@ struct PwcetOptions {
   /// convolution tree has a fixed shape. The pool must outlive the
   /// analyzer; nullptr runs everything on the calling thread.
   ThreadPool* pool = nullptr;
+  /// Optional content-addressed store (store/analysis_store.hpp), which
+  /// memoizes three layers: the analyzer core (fault-free WCET + FMM
+  /// bundle, including the tree engine's per-set rows), per-set penalty
+  /// distributions (content-addressed on the FMM row itself, so identical
+  /// rows share across sets, mechanisms and even tasks), and whole
+  /// per-(mechanism, pfail) results — the latter also persisted to disk
+  /// when the store has an artifact tier. Every key captures all inputs
+  /// of the computation it names and every computation is deterministic,
+  /// so results with a store are byte-identical to cold recomputation at
+  /// any thread count (asserted by tests/store_test.cpp). The store must
+  /// outlive the analyzer; nullptr computes everything from scratch.
+  AnalysisStore* store = nullptr;
 };
 
 /// One (exceedance probability, pWCET) point of the CCDF.
@@ -91,19 +105,22 @@ class PwcetAnalyzer {
   /// pWCET analysis for one mechanism at one cell failure probability.
   PwcetResult analyze(const FaultModel& faults, Mechanism mechanism) const;
 
-  const ReferenceMap& references() const { return refs_; }
   const FmmBundle& fmm_bundle() const { return fmm_; }
   const CacheConfig& config() const { return config_; }
   const Program& program() const { return program_; }
+
+  /// Store key of the analyzer core: program content x cache config x
+  /// engine — the prefix every per-result key chains from.
+  const StoreKey& core_key() const { return core_key_; }
 
  private:
   const Program& program_;
   CacheConfig config_;
   PwcetOptions options_;
-  ReferenceMap refs_;
   std::unique_ptr<IpetCalculator> ipet_;
   Cycles fault_free_wcet_ = 0;
   FmmBundle fmm_;
+  StoreKey core_key_;
 };
 
 }  // namespace pwcet

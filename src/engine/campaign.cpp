@@ -5,6 +5,7 @@
 
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
+#include "workloads/malardalen.hpp"
 
 namespace pwcet {
 namespace {
@@ -118,6 +119,48 @@ std::vector<CampaignJob> expand_campaign(const CampaignSpec& spec) {
               jobs.push_back(std::move(job));
             }
   return jobs;
+}
+
+StoreKey campaign_group_key(const CampaignJob& job) {
+  return KeyHasher("campaign-group-v1")
+      .mix_string(job.task)
+      .mix_key(hash_cache_config(job.geometry))
+      .mix_u64(static_cast<std::uint64_t>(job.engine))
+      .finish();
+}
+
+StoreKey campaign_spec_key(const CampaignSpec& spec) {
+  KeyHasher h("campaign-spec-v1");
+  h.mix_u64(spec.tasks.size());
+  for (const std::string& task : spec.tasks) {
+    // Name *and* structural content: the name reaches the report's task
+    // column, and the content guards the persistent campaign-report
+    // artifact against serving stale results after a workload definition
+    // changes (names rarely do; loop bounds etc. might) — consistent with
+    // the core/result keys, which chain hash_program too.
+    h.mix_string(task);
+    h.mix_key(hash_program(workloads::build(task)));
+  }
+  h.mix_u64(spec.geometries.size());
+  for (const CacheConfig& g : spec.geometries) h.mix_key(hash_cache_config(g));
+  h.mix_doubles(spec.pfails);
+  h.mix_u64(spec.mechanisms.size());
+  for (const Mechanism m : spec.mechanisms)
+    h.mix_u64(static_cast<std::uint64_t>(m));
+  h.mix_u64(spec.engines.size());
+  for (const WcetEngine e : spec.engines)
+    h.mix_u64(static_cast<std::uint64_t>(e));
+  h.mix_u64(spec.kinds.size());
+  for (const AnalysisKind k : spec.kinds)
+    h.mix_u64(static_cast<std::uint64_t>(k));
+  h.mix_double(spec.target_exceedance);
+  h.mix_u64(spec.max_distribution_points);
+  h.mix_u64(spec.mbpta.chips);
+  h.mix_u64(spec.mbpta.block_size);
+  h.mix_u64(spec.mbpta.seed);
+  h.mix_u64(spec.simulation_chips);
+  h.mix_u64(spec.base_seed);
+  return h.finish();
 }
 
 std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,

@@ -23,17 +23,42 @@ std::string fmt_u64(std::uint64_t value) {
 }
 
 std::string json_escape(const std::string& s) {
+  // Full RFC 8259 string escaping. Control characters matter most here:
+  // an unescaped newline in a scenario label would split a JSONL row in
+  // two and break every identity check downstream.
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
   }
   return out;
 }
 
 /// Single source of truth for column names and their JSON type, so the
 /// quoting decision cannot drift from the column order.
+///
+/// The numeric tail (wcet_ff .. penalty_points) is also parsed back by
+/// engine/runner.cpp's parse_campaign_report when a persisted campaign
+/// report is loaded; renaming or reordering those columns breaks that
+/// parse — store_test's CampaignWarmFromDiskIsByteIdentical (which
+/// asserts zero recomputation on a warm run) catches the drift.
 struct Column {
   const char* name;
   bool json_string;

@@ -4,13 +4,18 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <future>
 #include <map>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <tuple>
+#include <utility>
 
 #include "core/pwcet_analyzer.hpp"
+#include "engine/report.hpp"
 #include "engine/thread_pool.hpp"
 #include "fault/fault_map.hpp"
 #include "mbpta/mbpta.hpp"
@@ -77,6 +82,47 @@ JobResult run_simulation_job(const CampaignJob& job, const Program& program,
   return r;
 }
 
+/// Rebuilds the per-job numeric results from a persisted campaign-report
+/// JSONL payload (engine/report.cpp's fixed column layout — kColumns
+/// there cross-references this parser; drift is caught by store_test's
+/// warm-run zero-recompute assertion). The job metadata columns need no
+/// parsing — expand_campaign reproduces them exactly — and the numeric
+/// fields were printed with round-tripping conversions ("%.17g" /
+/// decimal integers), so the reconstructed results render byte-
+/// identically to the originals. Returns false on any mismatch (row
+/// count, missing fields), in which case the caller recomputes.
+bool parse_campaign_report(const std::string& payload,
+                           const std::vector<CampaignJob>& jobs,
+                           std::vector<JobResult>& results) {
+  std::istringstream lines(payload);
+  std::string line;
+  std::size_t row = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (row >= jobs.size()) return false;
+    const char* at = std::strstr(line.c_str(), "\"wcet_ff\":");
+    if (at == nullptr) return false;
+    long long wcet_ff = 0;
+    double pwcet = 0.0, observed_max = 0.0, penalty_mean = 0.0;
+    unsigned long long penalty_points = 0;
+    if (std::sscanf(at,
+                    "\"wcet_ff\":%lld,\"pwcet\":%lf,\"observed_max\":%lf,"
+                    "\"penalty_mean\":%lf,\"penalty_points\":%llu}",
+                    &wcet_ff, &pwcet, &observed_max, &penalty_mean,
+                    &penalty_points) != 5)
+      return false;
+    JobResult& result = results[row];
+    result.job = jobs[row];
+    result.fault_free_wcet = static_cast<Cycles>(wcet_ff);
+    result.pwcet = pwcet;
+    result.observed_max = observed_max;
+    result.penalty_mean = penalty_mean;
+    result.penalty_points = static_cast<std::size_t>(penalty_points);
+    ++row;
+  }
+  return row == jobs.size();
+}
+
 }  // namespace
 
 CampaignResult run_campaign(const CampaignSpec& spec,
@@ -84,12 +130,51 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const auto started = std::chrono::steady_clock::now();
   const std::vector<CampaignJob> jobs = expand_campaign(spec);
 
-  ThreadPool pool(options.threads);
+  // One store serves the whole campaign (callers can pass a longer-lived
+  // one for warm reuse). Pool workers share it concurrently.
+  std::unique_ptr<AnalysisStore> owned_store;
+  AnalysisStore* store = options.shared_store;
+  if (store == nullptr) {
+    const StoreOptions store_options = store_options_from_env(options.store);
+    if (store_options.enabled) {
+      owned_store = std::make_unique<AnalysisStore>(store_options);
+      store = owned_store.get();
+    }
+  }
+  const StoreStats stats_before =
+      store != nullptr ? store->stats() : StoreStats{};
+  const bool disk = store != nullptr && store->artifacts() != nullptr;
+  // Hashing the spec builds every workload once; do it once and only when
+  // the disk tier that needs it (load below, persist at the end) exists.
+  const StoreKey spec_key = disk ? campaign_spec_key(spec) : StoreKey{};
 
   CampaignResult campaign;
   campaign.spec = spec;
   campaign.results.resize(jobs.size());
-  campaign.threads_used = pool.thread_count();
+  campaign.threads_used = ThreadPool::resolve_thread_count(options.threads);
+
+  // Whole-campaign load-or-compute, checked before the pool is spawned so
+  // the "near-instant" warm path starts no threads: an identical spec
+  // already answered by any process sharing this cache dir is served from
+  // its persisted report artifact — the reconstruction renders
+  // byte-identically, so consumers cannot tell (except by the wall
+  // clock). Stale-cache safety: artifacts carry
+  // ArtifactStore::kFormatVersion, which must be bumped whenever analysis
+  // semantics change; workload content is hashed into the key.
+  if (disk) {
+    const std::optional<std::string> cached =
+        store->artifacts()->load_text("campaign-report", spec_key);
+    if (cached && parse_campaign_report(*cached, jobs, campaign.results)) {
+      campaign.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      campaign.store_stats = store->stats().since(stats_before);
+      return campaign;
+    }
+  }
+
+  ThreadPool pool(options.threads);
 
   // Group jobs that can share one analyzer / one program build. std::map
   // keeps submission order deterministic.
@@ -99,11 +184,23 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   for (const CampaignJob& job : jobs)
     groups[{job.task_i, job.geometry_i, job.engine_i}].push_back(job.index);
 
+  // Cache-aware submission order: sort groups by their shared store-key
+  // prefix so groups that reuse the same memo entries (duplicate axis
+  // values, content-equal geometries) run adjacently and stay hot in the
+  // bounded LRU. The axis tuple breaks ties, keeping the order a pure
+  // function of the spec. Output is unaffected: slots are indexed.
+  std::vector<std::pair<StoreKey, const std::vector<std::size_t>*>> ordered;
+  ordered.reserve(groups.size());
+  for (const auto& [key, members] : groups)
+    ordered.emplace_back(campaign_group_key(jobs[members.front()]), &members);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
   std::vector<std::future<void>> futures;
-  futures.reserve(groups.size());
-  for (const auto& [key, members] : groups) {
+  futures.reserve(ordered.size());
+  for (const auto& entry : ordered) {
     futures.push_back(pool.submit([&spec, &jobs, &campaign, &pool, &options,
-                                   members = &members] {
+                                   store, members = entry.second] {
       const CampaignJob& first = jobs[members->front()];
       const Program program = workloads::build(first.task);
 
@@ -114,6 +211,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       popts.engine = first.engine;
       popts.max_distribution_points = spec.max_distribution_points;
       popts.pool = options.parallel_sets ? &pool : nullptr;
+      popts.store = store;
 
       for (const std::size_t index : *members) {
         const CampaignJob& job = jobs[index];
@@ -138,12 +236,22 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // "threads = 1" run execute on two threads — corrupting threads_used
   // and every wall-clock/speedup number derived from it. Helping is only
   // needed for nested waits *on* pool threads (map_indexed does that).
+  //
+  // Futures are iterated in cache-aware submission order, which is a
+  // hash order — so the "first in expansion order" rethrow promise is
+  // kept by ranking failed groups by their first job's expansion index,
+  // not by submission position.
   std::exception_ptr first_error;
-  for (auto& future : futures) {
+  std::size_t first_error_job = jobs.size();
+  for (std::size_t g = 0; g < futures.size(); ++g) {
     try {
-      future.get();
+      futures[g].get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      const std::size_t job_index = ordered[g].second->front();
+      if (!first_error || job_index < first_error_job) {
+        first_error = std::current_exception();
+        first_error_job = job_index;
+      }
     }
   }
   if (first_error) std::rethrow_exception(first_error);
@@ -152,6 +260,15 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
           .count();
+  if (store != nullptr) {
+    campaign.store_stats = store->stats().since(stats_before);
+    // Disk tier: persist the whole campaign's JSONL report under the
+    // spec's content key, so an identical future campaign (any process)
+    // can be answered — and cross-checked — without recomputation.
+    if (disk)
+      store->artifacts()->store_text("campaign-report", spec_key,
+                                     report_jsonl(campaign));
+  }
   return campaign;
 }
 

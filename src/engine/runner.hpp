@@ -8,17 +8,26 @@
 // analysis additionally fans its per-set work out on the *same* pool
 // (workers help while waiting, so nesting cannot deadlock).
 //
+// Groups are submitted in *cache-aware order* — sorted by their shared
+// store-key prefix (campaign_group_key) rather than by axis indices — so
+// groups reusing the same memoized sub-results run back to back and stay
+// hot in the store's bounded LRU. Slot-indexed collection makes the
+// submission order invisible in the output.
+//
 // Determinism contract: for a fixed spec, the CampaignResult — and hence
-// any report rendered from it — is byte-identical for every thread count.
-// This relies on (a) slot-indexed result collection, (b) per-job seeds
-// derived from job keys, and (c) fixed-shape parallel reductions inside
-// the analyzer (see core/pwcet_analyzer.hpp).
+// any report rendered from it — is byte-identical for every thread count,
+// with or without the store, cold or warm. This relies on (a) slot-indexed
+// result collection, (b) per-job seeds derived from job keys, (c)
+// fixed-shape parallel reductions inside the analyzer (see
+// core/pwcet_analyzer.hpp), and (d) store keys that capture every input of
+// the deterministic computation they name (see store/analysis_store.hpp).
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "engine/campaign.hpp"
+#include "store/analysis_store.hpp"
 #include "support/types.hpp"
 
 namespace pwcet {
@@ -28,6 +37,17 @@ struct RunnerOptions {
   std::size_t threads = 0;
   /// Also fan the per-set work inside each analysis onto the pool.
   bool parallel_sets = true;
+  /// Content-addressed store configuration (store/analysis_store.hpp).
+  /// Enabled by default: grid jobs sharing sub-problems (same core across
+  /// pfail values, same FMM rows across mechanisms) reuse each other's
+  /// results, byte-identically. The runner applies environment overrides
+  /// (PWCET_STORE=0 disables, PWCET_CACHE_DIR enables the disk tier) via
+  /// store_options_from_env before constructing the store.
+  StoreOptions store;
+  /// Reuse a caller-owned store instead of constructing one from `store`
+  /// — this is how warm re-runs are measured (bench/perf_analysis_time)
+  /// and how long-lived services would share a cache across campaigns.
+  AnalysisStore* shared_store = nullptr;
 };
 
 /// Outcome of one campaign job. Which fields are meaningful depends on the
@@ -46,6 +66,9 @@ struct CampaignResult {
   std::vector<JobResult> results;  ///< expansion order (spec grid order)
   std::size_t threads_used = 0;
   double wall_seconds = 0.0;  ///< timing only; never rendered into reports
+  /// Store counters attributable to this run (delta for a shared store);
+  /// observability only — like wall_seconds, never rendered into reports.
+  StoreStats store_stats;
 
   const JobResult& at(std::size_t task_i, std::size_t geometry_i,
                       std::size_t pfail_i, std::size_t mechanism_i,

@@ -4,9 +4,14 @@
 
 namespace pwcet {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+std::size_t ThreadPool::resolve_thread_count(std::size_t threads) {
   if (threads == 0)
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    return std::max(1u, std::thread::hardware_concurrency());
+  return threads;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = resolve_thread_count(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });

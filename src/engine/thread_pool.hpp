@@ -35,6 +35,11 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
+  /// Worker count a ThreadPool(threads) would spawn — exposed so callers
+  /// that can answer without a pool (the runner's cached campaign path)
+  /// still report the same threads_used a computing run would.
+  static std::size_t resolve_thread_count(std::size_t threads);
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

@@ -51,6 +51,16 @@ DiscreteDistribution DiscreteDistribution::degenerate(Cycles value) {
   return DiscreteDistribution({{value, 1.0}});
 }
 
+DiscreteDistribution DiscreteDistribution::from_canonical_atoms(
+    std::vector<ProbabilityAtom> atoms) {
+  PWCET_EXPECTS(!atoms.empty());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    PWCET_EXPECTS(atoms[i].probability > 0.0);
+    PWCET_EXPECTS(i == 0 || atoms[i - 1].value < atoms[i].value);
+  }
+  return DiscreteDistribution(std::move(atoms));
+}
+
 Cycles DiscreteDistribution::min_value() const { return atoms_.front().value; }
 
 Cycles DiscreteDistribution::max_value() const { return atoms_.back().value; }

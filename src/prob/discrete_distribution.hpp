@@ -40,6 +40,17 @@ class DiscreteDistribution {
   /// Single-point distribution.
   static DiscreteDistribution degenerate(Cycles value);
 
+  /// Rebuilds a distribution from atoms already in canonical form
+  /// (strictly increasing values, all probabilities positive) without
+  /// merging or mass checking — the exact-round-trip constructor used by
+  /// the artifact store (store/artifact_store.hpp), where the atoms are a
+  /// verbatim copy of a previously stored canonical distribution and any
+  /// renormalization would break the byte-identity contract. Canonical
+  /// form is a precondition (aborts on violation); untrusted input must
+  /// be validated by the caller first.
+  static DiscreteDistribution from_canonical_atoms(
+      std::vector<ProbabilityAtom> atoms);
+
   const std::vector<ProbabilityAtom>& atoms() const { return atoms_; }
   std::size_t size() const { return atoms_.size(); }
   Cycles min_value() const;

@@ -1,0 +1,58 @@
+// Facade over the two store tiers, shared by the analyzer and the
+// campaign engine.
+//
+// One AnalysisStore instance serves a whole campaign (and, if the caller
+// keeps it alive, any number of campaigns — that is how warm re-runs are
+// measured in bench/perf_analysis_time.cpp). All methods are thread-safe;
+// pool workers use the store concurrently.
+//
+// Determinism: the store only ever returns bits some earlier invocation
+// of the *same deterministic computation on the same inputs* produced, so
+// enabling it cannot change a single byte of any report — enforced by
+// tests/store_test.cpp (store on vs off, single- vs multi-threaded, cold
+// vs warm disk cache).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "store/artifact_store.hpp"
+#include "store/memo_cache.hpp"
+
+namespace pwcet {
+
+struct StoreOptions {
+  /// Master switch; disabled means no store object exists at all.
+  bool enabled = true;
+  std::size_t capacity = 4096;  ///< memo entries kept (LRU beyond that)
+  std::size_t shards = 8;       ///< memo lock partitions
+  /// Cache directory for the on-disk artifact tier; empty keeps the store
+  /// purely in-memory (no file I/O).
+  std::string artifact_dir;
+};
+
+/// Environment overrides, applied by run_campaign so the stock bench and
+/// example binaries can be driven cold/warm without code changes:
+/// `PWCET_STORE=0` disables the store, `PWCET_CACHE_DIR=<dir>` enables the
+/// artifact tier (only when `base` did not already name a directory).
+/// An explicitly disabled `base` stays disabled regardless of environment.
+StoreOptions store_options_from_env(StoreOptions base = {});
+
+class AnalysisStore {
+ public:
+  explicit AnalysisStore(const StoreOptions& options = {});
+
+  MemoCache& memo() { return memo_; }
+
+  /// nullptr when the artifact tier is off (no cache directory).
+  ArtifactStore* artifacts() { return artifacts_.get(); }
+
+  /// Combined counters of both tiers.
+  StoreStats stats() const;
+
+ private:
+  MemoCache memo_;
+  std::unique_ptr<ArtifactStore> artifacts_;
+};
+
+}  // namespace pwcet

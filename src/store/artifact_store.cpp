@@ -1,0 +1,170 @@
+#include "store/artifact_store.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace pwcet {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Kinds become path components; restrict them to a safe alphabet so a
+/// creative kind string cannot escape the cache directory.
+bool valid_kind(std::string_view kind) {
+  if (kind.empty()) return false;
+  for (const char c : kind) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::atomic<std::uint64_t> temp_counter{0};
+
+/// Content hash of the payload, carried in the header so value-level
+/// corruption (bitrot, truncation past the header, hand edits) reads as
+/// a miss — the structural validation in load_distribution cannot catch
+/// a flipped digit that still parses.
+std::string payload_hash_hex(std::string_view payload) {
+  return KeyHasher("artifact-payload-v1").mix_string(payload).finish().hex();
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(Options options)
+    : options_(std::move(options)) {}
+
+std::string ArtifactStore::path_of(std::string_view kind,
+                                   const StoreKey& key) const {
+  std::string path = options_.directory;
+  path += '/';
+  path += kind;
+  path += '/';
+  path += key.hex();
+  path += ".jsonl";
+  return path;
+}
+
+std::string ArtifactStore::header_line(std::string_view kind,
+                                       const StoreKey& key,
+                                       std::string_view payload) const {
+  std::string header = "{\"magic\":\"pwcet-artifact\",\"version\":";
+  header += std::to_string(kFormatVersion);
+  header += ",\"kind\":\"";
+  header += kind;
+  header += "\",\"key\":\"";
+  header += key.hex();
+  header += "\",\"payload\":\"";
+  header += payload_hash_hex(payload);
+  header += "\"}";
+  return header;
+}
+
+std::optional<std::string> ArtifactStore::load_text(
+    std::string_view kind, const StoreKey& key) const {
+  if (!valid_kind(kind)) return std::nullopt;
+  std::ifstream in(path_of(kind, key), std::ios::binary);
+  if (!in) {
+    disk_misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::string header;
+  std::ostringstream rest;
+  if (std::getline(in, header)) rest << in.rdbuf();
+  const std::string payload = rest.str();
+  // Rebuilding the expected header from the payload checks everything at
+  // once: magic, version, kind, key, and the payload's content hash.
+  // Stale format, foreign file, key/kind mismatch, or corruption anywhere
+  // in the payload all read as a miss.
+  if (in.bad() || header != header_line(kind, key, payload)) {
+    disk_misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  return payload;
+}
+
+bool ArtifactStore::store_text(std::string_view kind, const StoreKey& key,
+                               std::string_view payload) const {
+  if (!valid_kind(kind)) return false;
+  const std::string path = path_of(kind, key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return false;
+
+  // Unique temp name per writer, renamed into place: readers never see a
+  // half-written artifact, and concurrent writers of the same key (which
+  // by the determinism contract write identical bytes) race benignly.
+  // The pid makes the name unique across *processes* sharing a cache dir
+  // — the counter alone would make two processes scribble over the same
+  // ".tmp0" file.
+  std::string temp = path;
+  temp += ".tmp";
+  temp += std::to_string(::getpid());
+  temp += '.';
+  temp += std::to_string(temp_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    out << header_line(kind, key, payload) << '\n' << payload;
+    out.close();
+    if (out.fail()) {
+      fs::remove(temp, ec);
+      return false;
+    }
+  }
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return false;
+  }
+  disk_writes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ArtifactStore::store_distribution(
+    const StoreKey& key, const DiscreteDistribution& distribution) const {
+  std::string payload;
+  payload.reserve(distribution.size() * 48);
+  char line[96];
+  for (const ProbabilityAtom& atom : distribution.atoms()) {
+    std::snprintf(line, sizeof line, "{\"value\":%" PRId64 ",\"p\":%.17g}\n",
+                  static_cast<std::int64_t>(atom.value), atom.probability);
+    payload += line;
+  }
+  return store_text("distribution", key, payload);
+}
+
+std::optional<DiscreteDistribution> ArtifactStore::load_distribution(
+    const StoreKey& key) const {
+  const std::optional<std::string> payload = load_text("distribution", key);
+  if (!payload) return std::nullopt;
+
+  // Validate everything *before* constructing: from_canonical_atoms treats
+  // violations as programming errors (abort), but a damaged cache file is
+  // an environmental condition that must degrade to a recompute.
+  std::vector<ProbabilityAtom> atoms;
+  std::istringstream lines(*payload);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::int64_t value = 0;
+    double p = 0.0;
+    if (std::sscanf(line.c_str(), "{\"value\":%" SCNd64 ",\"p\":%lf}", &value,
+                    &p) != 2)
+      return std::nullopt;
+    if (!(p > 0.0)) return std::nullopt;
+    if (!atoms.empty() && atoms.back().value >= value) return std::nullopt;
+    atoms.push_back({static_cast<Cycles>(value), p});
+  }
+  if (atoms.empty()) return std::nullopt;
+  return DiscreteDistribution::from_canonical_atoms(std::move(atoms));
+}
+
+}  // namespace pwcet

@@ -49,7 +49,9 @@ std::string TextTable::to_string() const {
 
 std::string TextTable::to_csv() const {
   auto escape = [](const std::string& cell) {
-    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    // \r included: a bare carriage return would survive unquoted and make
+    // the emitted line ambiguous for CRLF-aware CSV readers.
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
     std::string quoted = "\"";
     for (const char c : cell) {
       if (c == '"') quoted += '"';

@@ -6,6 +6,7 @@
 #include "engine/thread_pool.hpp"
 #include "icache/set_analysis.hpp"
 #include "icache/srb_analysis.hpp"
+#include "store/analysis_store.hpp"
 #include "support/contracts.hpp"
 #include "wcet/tree_engine.hpp"
 
@@ -111,11 +112,37 @@ SetRows compute_set_rows(const Program& program, const CacheConfig& config,
 FmmBundle compute_fmm_bundle(const Program& program,
                              const CacheConfig& config,
                              const ReferenceMap& refs, WcetEngine engine,
-                             IpetCalculator* ipet, ThreadPool* pool) {
+                             IpetCalculator* ipet, ThreadPool* pool,
+                             AnalysisStore* store,
+                             const StoreKey* row_key_prefix) {
   config.validate();
   const ControlFlowGraph& cfg = program.cfg();
 
   const SrbHitMap srb_hits = analyze_srb(cfg, refs);
+
+  // Tree-engine rows are pure in (program, config, set), so they memoize
+  // per set; see the header for why the ILP engine must not. This tier is
+  // only probed while (re)computing a whole bundle — a bundle-level memo
+  // hit at the analyzer-core layer short-circuits before reaching it —
+  // so its job is recovery: concurrent constructions of the same core
+  // share rows as they finish, and when the (large) bundle entry is
+  // evicted from its LRU shard, row entries surviving in *their* shards
+  // make the recomputation cheap. Unused sets are excluded: their
+  // all-zero rows cost one reference scan, not an engine run, and
+  // memoizing one entry per empty set would only crowd the cache.
+  const bool memo_rows = store != nullptr && row_key_prefix != nullptr &&
+                         engine == WcetEngine::kTree;
+  auto set_rows = [&](SetIndex s, IpetCalculator* set_ipet) {
+    if (!memo_rows || set_unused(refs, s))
+      return compute_set_rows(program, config, refs, srb_hits, s, engine,
+                              set_ipet);
+    const StoreKey key =
+        KeyHasher("fmm-rows-v1").mix_key(*row_key_prefix).mix_u64(s).finish();
+    return *store->memo().get_or_compute<SetRows>(key, [&] {
+      return compute_set_rows(program, config, refs, srb_hits, s, engine,
+                              set_ipet);
+    });
+  };
 
   std::vector<SetRows> rows;
   if (pool != nullptr && engine == WcetEngine::kTree) {
@@ -123,14 +150,12 @@ FmmBundle compute_fmm_bundle(const Program& program,
     // across pool threads (the build is not synchronized).
     if (cfg.block_count() > 0) cfg.innermost_loop(cfg.entry());
     rows = pool->map_indexed(config.sets, [&](std::size_t s) {
-      return compute_set_rows(program, config, refs, srb_hits,
-                              static_cast<SetIndex>(s), engine, nullptr);
+      return set_rows(static_cast<SetIndex>(s), nullptr);
     });
   } else {
     rows.reserve(config.sets);
     for (SetIndex s = 0; s < config.sets; ++s)
-      rows.push_back(compute_set_rows(program, config, refs, srb_hits, s,
-                                      engine, ipet));
+      rows.push_back(set_rows(s, ipet));
   }
 
   FmmBundle bundle;

@@ -23,6 +23,8 @@
 
 namespace pwcet {
 
+class AnalysisStore;
+struct StoreKey;
 class ThreadPool;
 
 /// Which engine maximizes the delta objectives.
@@ -53,6 +55,18 @@ struct FaultMissMap {
 /// pool: its warm-started shared simplex is stateful, and fresh per-set
 /// calculators would perturb LP round-off and break the byte-identity
 /// guarantee between 1-thread and N-thread campaign runs.
+///
+/// With a `store` (store/analysis_store.hpp) and `engine == kTree`, each
+/// used set's three rows are memoized under `row_key_prefix` (which must
+/// cover program + config) chained with the set index — a recovery tier
+/// for bundle recomputation (concurrent same-core constructions, shard
+/// evictions of the bundle entry); a bundle-level memo hit never reaches
+/// it. The ILP engine is *not* row-memoized on purpose: skipping some
+/// maximize() calls would change the shared simplex's warm-start sequence
+/// for the remaining ones and perturb LP round-off; ILP results are
+/// instead cached all-or-nothing at the analyzer-core layer
+/// (core/pwcet_analyzer.cpp), which preserves the exact call sequence on
+/// every miss.
 FaultMissMap compute_fmm(const Program& program, const CacheConfig& config,
                          const ReferenceMap& refs, Mechanism mechanism,
                          WcetEngine engine, IpetCalculator* ipet,
@@ -82,6 +96,8 @@ struct FmmBundle {
 FmmBundle compute_fmm_bundle(const Program& program,
                              const CacheConfig& config,
                              const ReferenceMap& refs, WcetEngine engine,
-                             IpetCalculator* ipet, ThreadPool* pool = nullptr);
+                             IpetCalculator* ipet, ThreadPool* pool = nullptr,
+                             AnalysisStore* store = nullptr,
+                             const StoreKey* row_key_prefix = nullptr);
 
 }  // namespace pwcet
