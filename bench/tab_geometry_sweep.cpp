@@ -2,52 +2,52 @@
 // the mechanisms differ in hardware cost and in how much locality they
 // preserve; §IV-A fixes 1 KB 4-way/16 B because it minimized pWCET in [1]).
 //
-// Sweeps associativity, set count and line size around the paper point at
-// constant 1 KB capacity and reports pWCET@1e-15 normalized to the
-// no-protection pWCET of the same geometry, plus absolute values — showing
-// where each mechanism pays off and how the RW's reserved way interacts
-// with low associativity.
-//
-// The sweep is a campaign (engine/campaign.hpp) run on the thread pool
-// (PWCET_THREADS workers; default one per hardware thread); the full
-// machine-readable grid lands in tab_geometry_sweep.{csv,jsonl}.
+// The campaign itself is declared in specs/geometry_sweep.json — this
+// binary is a thin wrapper that loads the spec (pass a path as argv[1] to
+// run a variant), executes it on the thread pool (PWCET_THREADS workers)
+// and pivots the grid into the paper-style normalized tables. Running
+// `pwcet run specs/geometry_sweep.json` produces the byte-identical
+// machine-readable report.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
+#include "engine/spec_io.hpp"
 #include "support/table.hpp"
 
-int main() {
-  using namespace pwcet;
-  const double target = 1e-15;
+#ifndef PWCET_SPECS_DIR
+#define PWCET_SPECS_DIR "specs"
+#endif
 
-  CampaignSpec spec;
-  spec.tasks = {"adpcm", "matmult", "crc", "fft", "fibcall", "ud"};
-  // Constant 1 KB capacity: sets * ways * line = 1024.
-  for (const auto& [sets, ways, line] :
-       {std::tuple{32u, 2u, 16u},   // low associativity
-        std::tuple{16u, 4u, 16u},   // paper configuration
-        std::tuple{8u, 8u, 16u},    // high associativity
-        std::tuple{32u, 4u, 8u},    // small lines
-        std::tuple{8u, 4u, 32u}}) {  // large lines (more bits => higher pbf)
-    CacheConfig config;
-    config.sets = sets;
-    config.ways = ways;
-    config.line_bytes = line;
-    spec.geometries.push_back(config);
+int main(int argc, char** argv) {
+  using namespace pwcet;
+  const std::string spec_path =
+      argc > 1 ? argv[1] : PWCET_SPECS_DIR "/geometry_sweep.json";
+
+  SpecDocument doc;
+  try {
+    doc = load_spec_for_mechanism_tables(spec_path);
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
   }
-  spec.pfails = {1e-4};
-  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
-                     Mechanism::kReliableWay};
-  spec.target_exceedance = target;
+  const CampaignSpec& spec = doc.spec;
 
   RunnerOptions options;
   options.threads = threads_from_env();
   const CampaignResult campaign = run_campaign(spec, options);
 
-  std::printf("E4 — geometry sweep at 1 KB, pfail = 1e-4, target 1e-15\n");
+  if (spec.pfails.size() > 1 || spec.engines.size() > 1 ||
+      spec.kinds.size() > 1)
+    std::fprintf(stderr,
+                 "note: these tables pivot only the first pfail/engine/kind; "
+                 "the full grid is in tab_geometry_sweep.{csv,jsonl}\n");
+
+  std::printf("E4 — geometry sweep at 1 KB, pfail = %s, target %s\n",
+              fmt_prob(spec.pfails[0]).c_str(),
+              fmt_prob(spec.target_exceedance).c_str());
   std::printf("(normalized: pWCET / no-protection pWCET of same geometry)\n\n");
   for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
     TextTable table({"geometry", "WCET_ff", "none(abs)", "SRB", "RW"});

@@ -4,35 +4,51 @@
 // probability of faults as compared to fault-free WCET estimates", and
 // showing how the RW/SRB mechanisms flatten that growth.
 //
-// Sweeps pfail over the range discussed in the introduction (6.1e-13 at
-// 45 nm up to 1e-3 at low voltage / 12 nm-class nodes) for a representative
-// subset of benchmarks; reports pWCET@1e-15 normalized to the fault-free
-// WCET. Runs as a campaign on the thread pool (PWCET_THREADS workers);
-// the machine-readable grid lands in tab_pfail_sweep.{csv,jsonl}.
+// The campaign itself is declared in specs/pfail_sweep.json — this binary
+// is a thin wrapper that loads the spec (pass a path as argv[1] to run a
+// variant), executes it on the thread pool (PWCET_THREADS workers) and
+// pivots the grid into the normalized tables. Running
+// `pwcet run specs/pfail_sweep.json` produces the byte-identical
+// machine-readable report.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
+#include "engine/spec_io.hpp"
 #include "support/table.hpp"
 
-int main() {
-  using namespace pwcet;
+#ifndef PWCET_SPECS_DIR
+#define PWCET_SPECS_DIR "specs"
+#endif
 
-  CampaignSpec spec;
-  spec.tasks = {"adpcm", "fibcall", "matmult", "crc", "fft", "ud"};
-  spec.geometries = {CacheConfig::paper_default()};
-  spec.pfails = {6.1e-13, 1e-9, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3};
-  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
-                     Mechanism::kReliableWay};
-  spec.target_exceedance = 1e-15;
+int main(int argc, char** argv) {
+  using namespace pwcet;
+  const std::string spec_path =
+      argc > 1 ? argv[1] : PWCET_SPECS_DIR "/pfail_sweep.json";
+
+  SpecDocument doc;
+  try {
+    doc = load_spec_for_mechanism_tables(spec_path);
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  const CampaignSpec& spec = doc.spec;
 
   RunnerOptions options;
   options.threads = threads_from_env();
   const CampaignResult campaign = run_campaign(spec, options);
 
-  std::printf("E3 — pWCET@1e-15 / fault-free WCET vs pfail\n\n");
+  if (spec.geometries.size() > 1 || spec.engines.size() > 1 ||
+      spec.kinds.size() > 1)
+    std::fprintf(stderr,
+                 "note: these tables pivot only the first geometry/engine/"
+                 "kind; the full grid is in tab_pfail_sweep.{csv,jsonl}\n");
+
+  std::printf("E3 — pWCET@%s / fault-free WCET vs pfail\n\n",
+              fmt_prob(spec.target_exceedance).c_str());
   for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
     const double ff =
         static_cast<double>(campaign.at(t, 0, 0, 0).fault_free_wcet);

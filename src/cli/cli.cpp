@@ -1,0 +1,428 @@
+#include "cli/cli.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "engine/report.hpp"
+#include "engine/runner.hpp"
+#include "engine/spec_io.hpp"
+#include "support/table.hpp"
+#include "workloads/malardalen.hpp"
+
+namespace pwcet::cli {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pwcet <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  run <spec.json>       execute a campaign spec and emit its report\n"
+    "      --threads N       worker threads (0 = one per hardware thread)\n"
+    "      --store on|off    content-addressed analysis store (default on)\n"
+    "      --cache-dir DIR   enable the on-disk artifact tier under DIR\n"
+    "      --format FMT      stdout report format: csv (default), jsonl,\n"
+    "                        table\n"
+    "      --output BASE     write BASE.csv and BASE.jsonl instead of\n"
+    "                        printing the report\n"
+    "  describe <spec.json>  print the expanded job grid without running\n"
+    "  list                  built-in tasks, mechanisms, engines, kinds\n"
+    "  cache stats|clear     inspect or empty an artifact cache directory\n"
+    "      --cache-dir DIR   cache directory (default: $PWCET_CACHE_DIR)\n"
+    "\n"
+    "Spec files are documented in docs/campaign-spec.md; ready-made paper\n"
+    "campaigns ship under specs/.\n";
+
+/// One parsed `--flag value` option (both `--flag value` and `--flag=value`
+/// spellings are accepted).
+struct Flag {
+  std::string name;
+  std::string value;
+};
+
+/// Splits args into positionals and flags. Returns false (after printing a
+/// diagnostic) when a flag is missing its value.
+bool split_args(const std::vector<std::string>& args,
+                std::vector<std::string>& positionals, std::vector<Flag>& flags,
+                std::ostream& err) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals.push_back(arg);
+      continue;
+    }
+    const std::size_t equals = arg.find('=');
+    if (equals != std::string::npos) {
+      flags.push_back({arg.substr(0, equals), arg.substr(equals + 1)});
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      err << "pwcet: " << arg << " requires a value\n";
+      return false;
+    }
+    flags.push_back({arg, args[++i]});
+  }
+  return true;
+}
+
+bool parse_threads(const std::string& text, std::size_t& threads,
+                   std::ostream& err) {
+  if (parse_thread_count(text, threads)) return true;
+  err << "pwcet: --threads wants an integer in 0.." << kMaxCampaignThreads
+      << ", got '" << text << "'\n";
+  return false;
+}
+
+std::string geometry_label(const CacheConfig& g) {
+  return std::to_string(g.sets) + "x" + std::to_string(g.ways) + "x" +
+         std::to_string(g.line_bytes) + "B";
+}
+
+// ---- pwcet run ------------------------------------------------------------
+
+int cmd_run(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  std::vector<std::string> positionals;
+  std::vector<Flag> flags;
+  if (!split_args(args, positionals, flags, err)) return 2;
+  if (positionals.size() != 1) {
+    err << "pwcet: run wants exactly one spec file\n" << kUsage;
+    return 2;
+  }
+
+  RunnerOptions options;
+  std::string format = "csv";
+  bool format_set = false;
+  std::string output;
+  enum class StoreFlag { kDefault, kOn, kOff };
+  StoreFlag store_flag = StoreFlag::kDefault;  // last --store wins
+  for (const Flag& flag : flags) {
+    if (flag.name == "--threads") {
+      if (!parse_threads(flag.value, options.threads, err)) return 2;
+    } else if (flag.name == "--store") {
+      if (flag.value == "on") {
+        store_flag = StoreFlag::kOn;
+      } else if (flag.value == "off") {
+        store_flag = StoreFlag::kOff;
+      } else {
+        err << "pwcet: --store wants on|off, got '" << flag.value << "'\n";
+        return 2;
+      }
+    } else if (flag.name == "--cache-dir") {
+      options.store.artifact_dir = flag.value;
+    } else if (flag.name == "--format") {
+      if (flag.value != "csv" && flag.value != "jsonl" &&
+          flag.value != "table") {
+        err << "pwcet: --format wants csv|jsonl|table, got '" << flag.value
+            << "'\n";
+        return 2;
+      }
+      format = flag.value;
+      format_set = true;
+    } else if (flag.name == "--output") {
+      output = flag.value;
+    } else {
+      err << "pwcet: unknown option '" << flag.name << "' for run\n" << kUsage;
+      return 2;
+    }
+  }
+  if (format_set && !output.empty()) {
+    err << "pwcet: --format and --output are mutually exclusive (--output "
+           "always writes BASE.csv and BASE.jsonl)\n";
+    return 2;
+  }
+
+  // An explicit `--store on` must win over a PWCET_STORE=0 left in the
+  // environment (that knob exists to drive the spec-less bench binaries).
+  // run_campaign applies the env override only when it constructs the
+  // store itself, so build one here and hand it over — after the usual
+  // env pass, so a PWCET_CACHE_DIR fallback still applies.
+  std::unique_ptr<AnalysisStore> forced_store;
+  if (store_flag == StoreFlag::kOff) {
+    options.store.enabled = false;  // env can only disable further
+  } else if (store_flag == StoreFlag::kOn) {
+    StoreOptions store_options = options.store;
+    store_options.enabled = true;
+    // The PWCET_CACHE_DIR fallback is applied by hand rather than via
+    // store_options_from_env: that helper skips the fallback whenever
+    // PWCET_STORE=0 disabled the store first — exactly the case the
+    // explicit flag is overriding here.
+    if (store_options.artifact_dir.empty()) {
+      const char* env_dir = std::getenv("PWCET_CACHE_DIR");
+      if (env_dir != nullptr && *env_dir != '\0')
+        store_options.artifact_dir = env_dir;
+    }
+    forced_store = std::make_unique<AnalysisStore>(store_options);
+    options.shared_store = forced_store.get();
+  }
+
+  const SpecDocument doc = load_spec(positionals[0]);
+  const CampaignResult campaign = run_campaign(doc.spec, options);
+
+  if (!output.empty()) {
+    if (!write_report_files(campaign, output)) {
+      err << "pwcet: failed to write " << output << ".{csv,jsonl}\n";
+      return 1;
+    }
+  } else if (format == "csv") {
+    out << report_csv(campaign);
+  } else if (format == "jsonl") {
+    out << report_jsonl(campaign);
+  } else {
+    out << report_table(campaign).to_string();
+  }
+
+  // Progress summary on stderr so stdout stays byte-clean for diffing.
+  err << "[" << campaign.results.size() << " jobs on "
+      << campaign.threads_used << " threads in " << fmt_double(
+             campaign.wall_seconds, 2)
+      << "s; store: " << campaign.store_stats.hits << " hits / "
+      << campaign.store_stats.misses << " misses";
+  if (campaign.store_stats.disk_hits + campaign.store_stats.disk_writes > 0)
+    err << "; disk: " << campaign.store_stats.disk_hits << " hits / "
+        << campaign.store_stats.disk_writes << " writes";
+  err << "]\n";
+  if (!output.empty())
+    err << "wrote " << output << ".csv and " << output << ".jsonl\n";
+  return 0;
+}
+
+// ---- pwcet describe -------------------------------------------------------
+
+int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  std::vector<std::string> positionals;
+  std::vector<Flag> flags;
+  if (!split_args(args, positionals, flags, err)) return 2;
+  if (!flags.empty()) {
+    err << "pwcet: describe takes no options\n";
+    return 2;
+  }
+  if (positionals.size() != 1) {
+    err << "pwcet: describe wants exactly one spec file\n" << kUsage;
+    return 2;
+  }
+
+  const SpecDocument doc = load_spec(positionals[0]);
+  const CampaignSpec& spec = doc.spec;
+  const std::vector<CampaignJob> jobs = expand_campaign(spec);
+
+  if (!doc.name.empty()) out << doc.name << "\n";
+  if (!doc.notes.empty()) out << doc.notes << "\n";
+  if (!doc.name.empty() || !doc.notes.empty()) out << "\n";
+
+  out << "axes: " << spec.tasks.size() << " tasks x "
+      << spec.geometries.size() << " geometries x " << spec.pfails.size()
+      << " pfails x " << spec.mechanisms.size() << " mechanisms x "
+      << spec.engines.size() << " engines x " << spec.kinds.size()
+      << " kinds = " << jobs.size() << " jobs\n";
+  out << "target exceedance: " << fmt_prob(spec.target_exceedance) << "\n";
+  out << "spec key: " << campaign_spec_key(spec).hex() << "\n\n";
+
+  TextTable table({"#", "task", "geometry", "pfail", "mech", "engine", "kind",
+                   "seed"});
+  for (const CampaignJob& job : jobs)
+    table.add_row({std::to_string(job.index), job.task,
+                   geometry_label(job.geometry), fmt_prob(job.pfail),
+                   mechanism_name(job.mechanism), engine_name(job.engine),
+                   analysis_kind_name(job.kind), std::to_string(job.seed)});
+  out << table.to_string();
+  return 0;
+}
+
+// ---- pwcet list -----------------------------------------------------------
+
+int cmd_list(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (!args.empty()) {
+    err << "pwcet: list takes no arguments\n";
+    return 2;
+  }
+  out << "tasks (Malardalen-style structural counterparts):\n";
+  for (const std::string& name : workloads::names()) out << "  " << name
+                                                         << "\n";
+  out << "\nmechanisms:\n"
+      << "  none  unprotected cache (baseline)\n"
+      << "  RW    reliable way: way 0 of every set is hardened\n"
+      << "  SRB   shared reliable buffer: one hardened line-sized buffer\n"
+      << "\nengines:\n"
+      << "  ilp   IPET via the shared simplex (paper-faithful LP bound)\n"
+      << "  tree  structural loop-tree engine (exact on structured CFGs)\n"
+      << "\nkinds:\n"
+      << "  spta  static probabilistic timing analysis (the paper)\n"
+      << "  mbpta measurement-based EVT estimate over a chip population\n"
+      << "  sim   Monte-Carlo fault injection on the heavy path\n";
+  return 0;
+}
+
+// ---- pwcet cache ----------------------------------------------------------
+
+/// Resolves the cache directory for `pwcet cache`: the explicit flag wins,
+/// then $PWCET_CACHE_DIR; empty means "not configured".
+std::string resolve_cache_dir(const std::vector<Flag>& flags,
+                              std::ostream& err, bool& ok) {
+  std::string dir;
+  ok = true;
+  for (const Flag& flag : flags) {
+    if (flag.name == "--cache-dir") {
+      dir = flag.value;
+    } else {
+      err << "pwcet: unknown option '" << flag.name << "' for cache\n";
+      ok = false;
+      return dir;
+    }
+  }
+  if (dir.empty()) {
+    const char* env = std::getenv("PWCET_CACHE_DIR");
+    if (env != nullptr) dir = env;
+  }
+  return dir;
+}
+
+int cmd_cache(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  std::vector<std::string> positionals;
+  std::vector<Flag> flags;
+  if (!split_args(args, positionals, flags, err)) return 2;
+  if (positionals.size() != 1 ||
+      (positionals[0] != "stats" && positionals[0] != "clear")) {
+    err << "pwcet: cache wants 'stats' or 'clear'\n" << kUsage;
+    return 2;
+  }
+  bool flags_ok = false;
+  const std::string dir = resolve_cache_dir(flags, err, flags_ok);
+  if (!flags_ok) return 2;
+  if (dir.empty()) {
+    err << "pwcet: no cache directory: pass --cache-dir or set "
+           "PWCET_CACHE_DIR\n";
+    return 1;
+  }
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    out << "cache directory " << dir << " does not exist (nothing cached)\n";
+    return 0;
+  }
+
+  // The artifact tier lays out one subdirectory per artifact kind with one
+  // "<key>.jsonl" file per artifact (store/artifact_store.cpp). Anything
+  // else in the directory is not ours and is left untouched.
+  struct KindStats {
+    std::string kind;
+    std::uint64_t files = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<KindStats> kinds;
+  const fs::directory_iterator top(dir, ec);
+  if (ec) {
+    err << "pwcet: cannot read cache directory " << dir << ": "
+        << ec.message() << "\n";
+    return 1;
+  }
+  for (const fs::directory_entry& entry : top) {
+    if (!entry.is_directory(ec)) continue;
+    const fs::directory_iterator kind_it(entry.path(), ec);
+    if (ec) {
+      err << "pwcet: cannot read " << entry.path().string() << ": "
+          << ec.message() << "\n";
+      return 1;
+    }
+    KindStats stats;
+    stats.kind = entry.path().filename().string();
+    for (const fs::directory_entry& file : kind_it) {
+      if (!file.is_regular_file(ec) || file.path().extension() != ".jsonl")
+        continue;
+      // A file racing deletion by another process reads as an error here;
+      // skip it rather than folding file_size's uintmax_t(-1) sentinel
+      // into the byte total.
+      const std::uintmax_t size = file.file_size(ec);
+      if (ec) continue;
+      ++stats.files;
+      stats.bytes += static_cast<std::uint64_t>(size);
+    }
+    if (stats.files > 0) kinds.push_back(std::move(stats));
+  }
+
+  if (positionals[0] == "stats") {
+    TextTable table({"kind", "artifacts", "bytes"});
+    std::uint64_t total_files = 0, total_bytes = 0;
+    for (const KindStats& stats : kinds) {
+      table.add_row({stats.kind, std::to_string(stats.files),
+                     std::to_string(stats.bytes)});
+      total_files += stats.files;
+      total_bytes += stats.bytes;
+    }
+    table.add_row({"total", std::to_string(total_files),
+                   std::to_string(total_bytes)});
+    out << "cache directory: " << dir << "\n" << table.to_string();
+    return 0;
+  }
+
+  // clear: remove only artifact files — "<key>.jsonl" plus orphaned
+  // "<key>.jsonl.tmp*" left by a writer that died before its rename —
+  // and then-empty kind directories, so a mistyped --cache-dir cannot
+  // wipe unrelated data. Walks the directory afresh rather than the
+  // stats list, which skips kinds holding only orphans.
+  std::uint64_t removed = 0;
+  const fs::directory_iterator kind_dirs(dir, ec);
+  if (ec) {
+    err << "pwcet: cannot read cache directory " << dir << ": "
+        << ec.message() << "\n";
+    return 1;
+  }
+  for (const fs::directory_entry& entry : kind_dirs) {
+    if (!entry.is_directory(ec)) continue;
+    const fs::directory_iterator files(entry.path(), ec);
+    if (ec) {
+      err << "pwcet: cannot read " << entry.path().string() << ": "
+          << ec.message() << "\n";
+      return 1;
+    }
+    for (const fs::directory_entry& file : files) {
+      if (!file.is_regular_file(ec)) continue;
+      const std::string name = file.path().filename().string();
+      const bool artifact = file.path().extension() == ".jsonl";
+      const bool orphan = name.find(".jsonl.tmp") != std::string::npos;
+      if (!artifact && !orphan) continue;
+      if (fs::remove(file.path(), ec) && artifact) ++removed;
+    }
+    fs::remove(entry.path(), ec);  // succeeds only if now empty
+  }
+  out << "removed " << removed << " artifacts from " << dir << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+      args[0] == "-h") {
+    (args.empty() ? err : out) << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "run") return cmd_run(rest, out, err);
+    if (command == "describe") return cmd_describe(rest, out, err);
+    if (command == "list") return cmd_list(rest, out, err);
+    if (command == "cache") return cmd_cache(rest, out, err);
+  } catch (const SpecError& e) {
+    err << "pwcet: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "pwcet: error: " << e.what() << "\n";
+    return 1;
+  }
+  err << "pwcet: unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace pwcet::cli

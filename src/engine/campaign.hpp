@@ -1,17 +1,18 @@
-// Declarative description of a pWCET scenario sweep.
-//
-// Every figure and table of the paper is a cartesian sweep over a few axes:
-// task x cache geometry x cell failure probability x reliability mechanism
-// x WCET engine x analysis kind. A CampaignSpec names the axis values once;
-// expand_campaign() unrolls them into a flat, deterministically ordered
-// list of independent jobs that the runner (engine/runner.hpp) executes on
-// a thread pool.
-//
-// Each job carries a seed derived from its *key* (the axis values, chained
-// through Rng::derive_seed), not from shared generator state or from its
-// position in the grid — so stochastic jobs (MBPTA, simulation) are
-// reproducible under any thread count and their seeds survive adding or
-// reordering axis values elsewhere in the spec.
+/// \file
+/// Declarative description of a pWCET scenario sweep.
+///
+/// Every figure and table of the paper is a cartesian sweep over a few axes:
+/// task x cache geometry x cell failure probability x reliability mechanism
+/// x WCET engine x analysis kind. A CampaignSpec names the axis values once;
+/// expand_campaign() unrolls them into a flat, deterministically ordered
+/// list of independent jobs that the runner (engine/runner.hpp) executes on
+/// a thread pool.
+///
+/// Each job carries a seed derived from its *key* (the axis values, chained
+/// through Rng::derive_seed), not from shared generator state or from its
+/// position in the grid — so stochastic jobs (MBPTA, simulation) are
+/// reproducible under any thread count and their seeds survive adding or
+/// reordering axis values elsewhere in the spec.
 #pragma once
 
 #include <cstdint>

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <iterator>
 
+#include "support/json.hpp"
+
 namespace pwcet {
 namespace {
 
@@ -20,35 +22,6 @@ std::string fmt_u64(std::uint64_t value) {
   std::snprintf(buf, sizeof buf, "%llu",
                 static_cast<unsigned long long>(value));
   return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  // Full RFC 8259 string escaping. Control characters matter most here:
-  // an unescaped newline in a scenario label would split a JSONL row in
-  // two and break every identity check downstream.
-  std::string out;
-  out.reserve(s.size());
-  for (const char raw : s) {
-    const auto c = static_cast<unsigned char>(raw);
-    switch (c) {
-      case '"':  out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += raw;
-        }
-    }
-  }
-  return out;
 }
 
 /// Single source of truth for column names and their JSON type, so the

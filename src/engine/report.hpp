@@ -1,13 +1,14 @@
-// Structured result emission for campaign runs.
-//
-// One row per job, in expansion order, rendered as CSV (via
-// support/table's TextTable, so the same rows also print as an aligned
-// text table) or as JSON lines (one object per row, BENCH_*.json-style).
-// Rendering is bitwise deterministic: numbers are formatted with fixed
-// printf conversions ("%.17g" round-trips doubles exactly), and nothing
-// timing- or machine-dependent enters a row — which is what lets the
-// tests assert that an N-thread campaign reproduces a 1-thread campaign
-// byte for byte.
+/// \file
+/// Structured result emission for campaign runs.
+///
+/// One row per job, in expansion order, rendered as CSV (via
+/// support/table's TextTable, so the same rows also print as an aligned
+/// text table) or as JSON lines (one object per row, BENCH_*.json-style).
+/// Rendering is bitwise deterministic: numbers are formatted with fixed
+/// printf conversions ("%.17g" round-trips doubles exactly), and nothing
+/// timing- or machine-dependent enters a row — which is what lets the
+/// tests assert that an N-thread campaign reproduces a 1-thread campaign
+/// byte for byte.
 #pragma once
 
 #include <string>

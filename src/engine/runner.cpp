@@ -1,6 +1,7 @@
 #include "engine/runner.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -272,22 +273,29 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   return campaign;
 }
 
+bool parse_thread_count(const std::string& text, std::size_t& threads) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' ||
+      value > kMaxCampaignThreads)
+    return false;
+  threads = static_cast<std::size_t>(value);
+  return true;
+}
+
 std::size_t threads_from_env() {
   const char* env = std::getenv("PWCET_THREADS");
   if (env == nullptr || *env == '\0') return 0;
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(env, &end, 10);
-  // Unparsable or negative-wrapped values fall back to the default rather
-  // than asking the pool for ~2^64 workers; 256 is far beyond any host.
-  constexpr unsigned long kMaxThreads = 256;
-  if (end == env || *end != '\0' || value > kMaxThreads) {
+  std::size_t threads = 0;
+  if (!parse_thread_count(env, threads)) {
     std::fprintf(stderr,
-                 "pwcet: ignoring PWCET_THREADS='%s' (want 0..%lu); using "
+                 "pwcet: ignoring PWCET_THREADS='%s' (want 0..%zu); using "
                  "hardware default\n",
-                 env, kMaxThreads);
+                 env, kMaxCampaignThreads);
     return 0;
   }
-  return static_cast<std::size_t>(value);
+  return threads;
 }
 
 }  // namespace pwcet

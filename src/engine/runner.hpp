@@ -1,29 +1,31 @@
-// Campaign execution on the thread pool.
-//
-// Jobs sharing a (task, geometry, engine) prefix also share the expensive
-// analyzer state (reference extraction, fault-free IPET, FMM bundle), so
-// the runner groups them: each group is one pool task that builds the
-// analyzer once and walks its cells in expansion order, writing results
-// into pre-sized slots indexed by job position. Inside a group, a single
-// analysis additionally fans its per-set work out on the *same* pool
-// (workers help while waiting, so nesting cannot deadlock).
-//
-// Groups are submitted in *cache-aware order* — sorted by their shared
-// store-key prefix (campaign_group_key) rather than by axis indices — so
-// groups reusing the same memoized sub-results run back to back and stay
-// hot in the store's bounded LRU. Slot-indexed collection makes the
-// submission order invisible in the output.
-//
-// Determinism contract: for a fixed spec, the CampaignResult — and hence
-// any report rendered from it — is byte-identical for every thread count,
-// with or without the store, cold or warm. This relies on (a) slot-indexed
-// result collection, (b) per-job seeds derived from job keys, (c)
-// fixed-shape parallel reductions inside the analyzer (see
-// core/pwcet_analyzer.hpp), and (d) store keys that capture every input of
-// the deterministic computation they name (see store/analysis_store.hpp).
+/// \file
+/// Campaign execution on the thread pool.
+///
+/// Jobs sharing a (task, geometry, engine) prefix also share the expensive
+/// analyzer state (reference extraction, fault-free IPET, FMM bundle), so
+/// the runner groups them: each group is one pool task that builds the
+/// analyzer once and walks its cells in expansion order, writing results
+/// into pre-sized slots indexed by job position. Inside a group, a single
+/// analysis additionally fans its per-set work out on the *same* pool
+/// (workers help while waiting, so nesting cannot deadlock).
+///
+/// Groups are submitted in *cache-aware order* — sorted by their shared
+/// store-key prefix (campaign_group_key) rather than by axis indices — so
+/// groups reusing the same memoized sub-results run back to back and stay
+/// hot in the store's bounded LRU. Slot-indexed collection makes the
+/// submission order invisible in the output.
+///
+/// Determinism contract: for a fixed spec, the CampaignResult — and hence
+/// any report rendered from it — is byte-identical for every thread count,
+/// with or without the store, cold or warm. This relies on (a) slot-indexed
+/// result collection, (b) per-job seeds derived from job keys, (c)
+/// fixed-shape parallel reductions inside the analyzer (see
+/// core/pwcet_analyzer.hpp), and (d) store keys that capture every input of
+/// the deterministic computation they name (see store/analysis_store.hpp).
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "engine/campaign.hpp"
@@ -82,6 +84,16 @@ struct CampaignResult {
 /// rethrown (first in expansion order) after all jobs finished.
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const RunnerOptions& options = {});
+
+/// Upper bound accepted for explicit worker-thread counts (PWCET_THREADS,
+/// the CLI's --threads) — far beyond any host, it only guards against
+/// unparsed garbage asking the pool for ~2^64 workers.
+inline constexpr std::size_t kMaxCampaignThreads = 256;
+
+/// Parses an explicit worker-thread count in 0..kMaxCampaignThreads
+/// (0 = one per hardware thread); false on any other input. Shared by
+/// threads_from_env and the CLI so the two cannot drift.
+bool parse_thread_count(const std::string& text, std::size_t& threads);
 
 /// Worker-thread count for benches: PWCET_THREADS if set, else 0 (= one
 /// per hardware thread).

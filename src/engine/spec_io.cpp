@@ -1,0 +1,849 @@
+#include "engine/spec_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "cfg/basic_block.hpp"
+#include "support/json.hpp"
+#include "workloads/malardalen.hpp"
+
+namespace pwcet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model + recursive-descent parser.
+//
+// Values remember the line their first token started on, which is what lets
+// every semantic diagnostic ("bad enum value", "must be positive") point at
+// the offending line rather than just the offending key. Numbers keep both
+// the double and, when the token is a plain integer that fits, the exact
+// 64-bit value — so seeds larger than 2^53 survive without rounding.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  bool integral = false;      // token was plain digits and fits std::uint64_t
+  bool integer_overflow = false;  // token was plain digits but exceeds 2^64-1
+  std::uint64_t integer = 0;      // meaningful only when `integral`
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;  // insertion order
+  int line = 1;
+
+  const char* type_name() const {
+    switch (type) {
+      case Type::kNull: return "null";
+      case Type::kBool: return "a boolean";
+      case Type::kNumber: return "a number";
+      case Type::kString: return "a string";
+      case Type::kArray: return "an array";
+      case Type::kObject: return "an object";
+    }
+    return "?";
+  }
+};
+
+[[noreturn]] void fail(const std::string& source, int line,
+                       const std::string& message, const std::string& path) {
+  std::string out = source;
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += message;
+  if (!path.empty()) {
+    out += " (field \"";
+    out += path;
+    out += "\")";
+  }
+  throw SpecError(out);
+}
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  Json parse_document() {
+    Json value = parse_value("document");
+    skip_ws();
+    if (pos_ != text_.size())
+      fail(source_, line_, "trailing content after the spec object", "");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void syntax(const std::string& message) {
+    fail(source_, line_, message, "");
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+
+  char peek() const { return text_[pos_]; }
+
+  char get() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        get();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char wanted, const char* what) {
+    skip_ws();
+    if (eof() || peek() != wanted) syntax(std::string("expected ") + what);
+    get();
+  }
+
+  Json parse_value(const char* what) {
+    skip_ws();
+    if (eof()) syntax(std::string("unexpected end of input, expected ") + what);
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    if (c == 't' || c == 'f' || c == 'n') return parse_keyword();
+    syntax(std::string("unexpected character '") + c + "', expected " + what);
+  }
+
+  Json parse_object() {
+    Json out;
+    out.type = Json::Type::kObject;
+    skip_ws();
+    out.line = line_;
+    expect('{', "'{'");
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      get();
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') syntax("expected a quoted object key");
+      Json key = parse_string();
+      expect(':', "':' after object key");
+      Json value = parse_value("a value");
+      for (const auto& [existing, unused] : out.object) {
+        (void)unused;
+        if (existing == key.string)
+          fail(source_, key.line, "duplicate key \"" + key.string + "\"", "");
+      }
+      out.object.emplace_back(std::move(key.string), std::move(value));
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        get();
+        continue;
+      }
+      expect('}', "',' or '}' in object");
+      return out;
+    }
+  }
+
+  Json parse_array() {
+    Json out;
+    out.type = Json::Type::kArray;
+    skip_ws();
+    out.line = line_;
+    expect('[', "'['");
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      get();
+      return out;
+    }
+    while (true) {
+      out.array.push_back(parse_value("an array element"));
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        get();
+        continue;
+      }
+      expect(']', "',' or ']' in array");
+      return out;
+    }
+  }
+
+  Json parse_string() {
+    Json out;
+    out.type = Json::Type::kString;
+    skip_ws();
+    out.line = line_;
+    expect('"', "'\"'");
+    while (true) {
+      if (eof()) syntax("unterminated string");
+      const char c = get();
+      if (c == '"') return out;
+      if (c == '\n') syntax("raw newline in string");
+      if (c != '\\') {
+        out.string += c;
+        continue;
+      }
+      if (eof()) syntax("unterminated escape");
+      const char esc = get();
+      switch (esc) {
+        case '"': out.string += '"'; break;
+        case '\\': out.string += '\\'; break;
+        case '/': out.string += '/'; break;
+        case 'b': out.string += '\b'; break;
+        case 'f': out.string += '\f'; break;
+        case 'n': out.string += '\n'; break;
+        case 'r': out.string += '\r'; break;
+        case 't': out.string += '\t'; break;
+        case 'u': out.string += parse_unicode_escape(); break;
+        default: syntax(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // Surrogate pair: the low half must follow immediately.
+      if (eof() || get() != '\\' || eof() || get() != 'u')
+        syntax("high surrogate not followed by \\u low surrogate");
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) syntax("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      syntax("unpaired low surrogate");
+    }
+    std::string utf8;
+    if (code < 0x80) {
+      utf8 += static_cast<char>(code);
+    } else if (code < 0x800) {
+      utf8 += static_cast<char>(0xC0 | (code >> 6));
+      utf8 += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      utf8 += static_cast<char>(0xE0 | (code >> 12));
+      utf8 += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      utf8 += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      utf8 += static_cast<char>(0xF0 | (code >> 18));
+      utf8 += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      utf8 += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      utf8 += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return utf8;
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) syntax("unterminated \\u escape");
+      const char c = get();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        syntax("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  Json parse_number() {
+    Json out;
+    out.type = Json::Type::kNumber;
+    out.line = line_;
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') get();
+    while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                      peek() == '-'))
+      get();
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      syntax("malformed number \"" + token + "\"");
+    if (token.find_first_of(".eE") == std::string::npos && token[0] != '-') {
+      errno = 0;
+      const unsigned long long exact = std::strtoull(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size()) {
+        if (errno == 0) {
+          out.integral = true;
+          out.integer = exact;
+        } else {
+          out.integer_overflow = true;
+        }
+      }
+    }
+    return out;
+  }
+
+  Json parse_keyword() {
+    Json out;
+    out.line = line_;
+    auto matches = [&](const char* word) {
+      const std::size_t n = std::char_traits<char>::length(word);
+      return text_.compare(pos_, n, word) == 0;
+    };
+    if (matches("true")) {
+      out.type = Json::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+    } else if (matches("false")) {
+      out.type = Json::Type::kBool;
+      out.boolean = false;
+      pos_ += 5;
+    } else if (matches("null")) {
+      out.type = Json::Type::kNull;
+      pos_ += 4;
+    } else {
+      syntax("unexpected token");
+    }
+    return out;
+  }
+
+  const std::string& text_;
+  const std::string& source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Schema mapping: Json document -> SpecDocument, with field-path context.
+// ---------------------------------------------------------------------------
+
+/// Levenshtein distance, used only for "did you mean" hints on unknown
+/// keys/values — inputs are tiny, the quadratic DP is fine.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = up;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string closest_match(const std::string& word,
+                          const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = std::max<std::size_t>(2, word.size() / 3) + 1;
+  for (const std::string& candidate : candidates) {
+    const std::size_t d = edit_distance(word, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string joined(const std::vector<std::string>& values) {
+  std::string out;
+  for (const std::string& v : values) {
+    if (!out.empty()) out += ", ";
+    out += v;
+  }
+  return out;
+}
+
+class SpecReader {
+ public:
+  explicit SpecReader(const std::string& source) : source_(source) {}
+
+  SpecDocument read(const Json& root) {
+    if (root.type != Json::Type::kObject)
+      fail(source_, root.line,
+           std::string("a campaign spec must be a JSON object, got ") +
+               root.type_name(),
+           "");
+
+    static const std::vector<std::string> kKnownKeys = {
+        "name",          "notes",
+        "tasks",         "geometries",
+        "pfails",        "mechanisms",
+        "engines",       "kinds",
+        "target_exceedance", "max_distribution_points",
+        "mbpta",         "simulation_chips",
+        "base_seed"};
+
+    SpecDocument doc;
+    CampaignSpec& spec = doc.spec;  // absent keys keep the C++ defaults
+
+    bool saw_tasks = false, saw_geometries = false, saw_pfails = false;
+    bool saw_mechanisms = false;
+
+    for (const auto& [key, value] : root.object) {
+      if (key == "name") {
+        doc.name = as_string(value, key);
+      } else if (key == "notes") {
+        doc.notes = as_string(value, key);
+      } else if (key == "tasks") {
+        spec.tasks = read_tasks(value);
+        saw_tasks = true;
+      } else if (key == "geometries") {
+        spec.geometries = read_geometries(value);
+        saw_geometries = true;
+      } else if (key == "pfails") {
+        spec.pfails = read_pfails(value);
+        saw_pfails = true;
+      } else if (key == "mechanisms") {
+        spec.mechanisms = read_enums<Mechanism>(
+            value, key, {{"none", Mechanism::kNone},
+                         {"RW", Mechanism::kReliableWay},
+                         {"SRB", Mechanism::kSharedReliableBuffer}},
+            "mechanism");
+        saw_mechanisms = true;
+      } else if (key == "engines") {
+        spec.engines = read_enums<WcetEngine>(
+            value, key,
+            {{"ilp", WcetEngine::kIlp}, {"tree", WcetEngine::kTree}},
+            "engine");
+      } else if (key == "kinds") {
+        spec.kinds = read_enums<AnalysisKind>(
+            value, key, {{"spta", AnalysisKind::kSpta},
+                         {"mbpta", AnalysisKind::kMbpta},
+                         {"sim", AnalysisKind::kSimulation}},
+            "analysis kind");
+      } else if (key == "target_exceedance") {
+        spec.target_exceedance = as_number(value, key);
+        if (!(spec.target_exceedance > 0.0 && spec.target_exceedance <= 1.0))
+          fail(source_, value.line,
+               "target_exceedance must be in (0, 1]", key);
+      } else if (key == "max_distribution_points") {
+        spec.max_distribution_points =
+            static_cast<std::size_t>(as_u64(value, key));
+        if (spec.max_distribution_points < 2)
+          fail(source_, value.line,
+               "max_distribution_points must be at least 2", key);
+      } else if (key == "mbpta") {
+        read_mbpta(value, spec.mbpta);
+      } else if (key == "simulation_chips") {
+        spec.simulation_chips = static_cast<std::size_t>(as_u64(value, key));
+        if (spec.simulation_chips == 0)
+          fail(source_, value.line, "simulation_chips must be positive", key);
+      } else if (key == "base_seed") {
+        spec.base_seed = as_u64(value, key);
+      } else {
+        std::string message = "unknown key \"" + key + "\" in campaign spec";
+        const std::string hint = closest_match(key, kKnownKeys);
+        if (!hint.empty()) message += " — did you mean \"" + hint + "\"?";
+        fail(source_, value.line, message, key);
+      }
+    }
+
+    if (!saw_tasks)
+      fail(source_, root.line, "missing required key \"tasks\"", "tasks");
+    if (!saw_geometries)
+      fail(source_, root.line, "missing required key \"geometries\"",
+           "geometries");
+    if (!saw_pfails)
+      fail(source_, root.line, "missing required key \"pfails\"", "pfails");
+    if (!saw_mechanisms)
+      fail(source_, root.line, "missing required key \"mechanisms\"",
+           "mechanisms");
+
+    // Cross-field constraint mirrored from CampaignSpec::validate(), which
+    // would otherwise abort instead of reporting.
+    const bool wants_mbpta =
+        std::find(spec.kinds.begin(), spec.kinds.end(),
+                  AnalysisKind::kMbpta) != spec.kinds.end();
+    if (wants_mbpta && spec.mbpta.chips < 2 * spec.mbpta.block_size)
+      fail(source_, root.line,
+           "mbpta.chips must be at least 2 * mbpta.block_size when \"kinds\" "
+           "includes \"mbpta\"",
+           "mbpta.chips");
+
+    return doc;
+  }
+
+ private:
+  const Json& expect_type(const Json& value, Json::Type type,
+                          const char* what, const std::string& path) {
+    if (value.type != type)
+      fail(source_, value.line,
+           std::string("expected ") + what + ", got " + value.type_name(),
+           path);
+    return value;
+  }
+
+  std::string as_string(const Json& value, const std::string& path) {
+    return expect_type(value, Json::Type::kString, "a string", path).string;
+  }
+
+  double as_number(const Json& value, const std::string& path) {
+    return expect_type(value, Json::Type::kNumber, "a number", path).number;
+  }
+
+  /// Unsigned 64-bit field: a plain integer, or (for values above 2^53,
+  /// which JSON numbers cannot carry exactly) a string of decimal digits.
+  std::uint64_t as_u64(const Json& value, const std::string& path) {
+    if (value.type == Json::Type::kString) {
+      const std::string& s = value.string;
+      if (!s.empty() &&
+          std::all_of(s.begin(), s.end(),
+                      [](unsigned char c) { return std::isdigit(c); })) {
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+        if (errno == 0 && end == s.c_str() + s.size())
+          return parsed;
+      }
+      fail(source_, value.line,
+           "expected a non-negative integer (number or decimal string)",
+           path);
+    }
+    expect_type(value, Json::Type::kNumber, "a non-negative integer", path);
+    if (!value.integral) {
+      const char* what =
+          "expected a non-negative integer, got a non-integral number";
+      if (value.number < 0)
+        what = "expected a non-negative integer, got a negative number";
+      else if (value.integer_overflow)
+        what = "integer does not fit in 64 bits";
+      fail(source_, value.line, what, path);
+    }
+    return value.integer;
+  }
+
+  std::uint32_t as_u32(const Json& value, const std::string& path) {
+    const std::uint64_t wide = as_u64(value, path);
+    if (wide > std::numeric_limits<std::uint32_t>::max())
+      fail(source_, value.line, "value does not fit in 32 bits", path);
+    return static_cast<std::uint32_t>(wide);
+  }
+
+  /// Cycle counts are signed 64-bit downstream; values beyond int64 max
+  /// would wrap negative through the cast and trip the abort-style
+  /// contract checks this loader promises to shield.
+  Cycles as_cycles(const Json& value, const std::string& path) {
+    const std::uint64_t wide = as_u64(value, path);
+    if (wide > static_cast<std::uint64_t>(std::numeric_limits<Cycles>::max()))
+      fail(source_, value.line,
+           "value does not fit in a signed 64-bit cycle count", path);
+    return static_cast<Cycles>(wide);
+  }
+
+  std::vector<std::string> read_tasks(const Json& value) {
+    expect_type(value, Json::Type::kArray, "an array of task names", "tasks");
+    if (value.array.empty())
+      fail(source_, value.line, "\"tasks\" must not be empty", "tasks");
+    const std::vector<std::string> known = workloads::names();
+    std::vector<std::string> tasks;
+    tasks.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i) {
+      const std::string path = "tasks[" + std::to_string(i) + "]";
+      const std::string task = as_string(value.array[i], path);
+      if (std::find(known.begin(), known.end(), task) == known.end()) {
+        std::string message = "unknown task \"" + task + "\"";
+        const std::string hint = closest_match(task, known);
+        if (!hint.empty()) message += " — did you mean \"" + hint + "\"?";
+        message += " (`pwcet list` prints the built-in tasks)";
+        fail(source_, value.array[i].line, message, path);
+      }
+      tasks.push_back(task);
+    }
+    return tasks;
+  }
+
+  std::vector<CacheConfig> read_geometries(const Json& value) {
+    expect_type(value, Json::Type::kArray, "an array of geometry objects",
+                "geometries");
+    if (value.array.empty())
+      fail(source_, value.line, "\"geometries\" must not be empty",
+           "geometries");
+    std::vector<CacheConfig> out;
+    out.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i)
+      out.push_back(read_geometry(value.array[i],
+                                  "geometries[" + std::to_string(i) + "]"));
+    return out;
+  }
+
+  CacheConfig read_geometry(const Json& value, const std::string& path) {
+    expect_type(value, Json::Type::kObject, "a geometry object", path);
+    static const std::vector<std::string> kKeys = {
+        "sets", "ways", "line_bytes", "hit_latency", "miss_penalty"};
+    CacheConfig config;
+    bool saw_sets = false, saw_ways = false, saw_line_bytes = false;
+    for (const auto& [key, field] : value.object) {
+      const std::string field_path = path + "." + key;
+      if (key == "sets") {
+        config.sets = as_u32(field, field_path);
+        saw_sets = true;
+      } else if (key == "ways") {
+        config.ways = as_u32(field, field_path);
+        saw_ways = true;
+      } else if (key == "line_bytes") {
+        config.line_bytes = as_u32(field, field_path);
+        saw_line_bytes = true;
+      } else if (key == "hit_latency") {
+        config.hit_latency = as_cycles(field, field_path);
+      } else if (key == "miss_penalty") {
+        config.miss_penalty = as_cycles(field, field_path);
+      } else {
+        std::string message = "unknown key \"" + key + "\" in geometry";
+        const std::string hint = closest_match(key, kKeys);
+        if (!hint.empty()) message += " — did you mean \"" + hint + "\"?";
+        fail(source_, field.line, message, field_path);
+      }
+    }
+    if (!saw_sets)
+      fail(source_, value.line, "geometry is missing \"sets\"", path + ".sets");
+    if (!saw_ways)
+      fail(source_, value.line, "geometry is missing \"ways\"", path + ".ways");
+    if (!saw_line_bytes)
+      fail(source_, value.line, "geometry is missing \"line_bytes\"",
+           path + ".line_bytes");
+    if (config.sets == 0)
+      fail(source_, value.line, "sets must be positive", path + ".sets");
+    if (config.ways == 0)
+      fail(source_, value.line, "ways must be positive", path + ".ways");
+    if (config.line_bytes == 0 || config.line_bytes % kInstructionBytes != 0)
+      fail(source_, value.line,
+           "line_bytes must be a positive multiple of " +
+               std::to_string(kInstructionBytes) + " (the instruction size)",
+           path + ".line_bytes");
+    return config;
+  }
+
+  std::vector<Probability> read_pfails(const Json& value) {
+    expect_type(value, Json::Type::kArray, "an array of probabilities",
+                "pfails");
+    if (value.array.empty())
+      fail(source_, value.line, "\"pfails\" must not be empty", "pfails");
+    std::vector<Probability> out;
+    out.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i) {
+      const std::string path = "pfails[" + std::to_string(i) + "]";
+      const double p = as_number(value.array[i], path);
+      if (!(p >= 0.0 && p <= 1.0))
+        fail(source_, value.array[i].line,
+             "cell failure probability must be in [0, 1]", path);
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  template <typename Enum>
+  std::vector<Enum> read_enums(
+      const Json& value, const std::string& key,
+      const std::vector<std::pair<std::string, Enum>>& table,
+      const char* what) {
+    expect_type(value, Json::Type::kArray,
+                (std::string("an array of ") + what + " names").c_str(), key);
+    if (value.array.empty())
+      fail(source_, value.line, "\"" + key + "\" must not be empty", key);
+    std::vector<std::string> names;
+    names.reserve(table.size());
+    for (const auto& [name, unused] : table) {
+      (void)unused;
+      names.push_back(name);
+    }
+    std::vector<Enum> out;
+    out.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i) {
+      const std::string path = key + "[" + std::to_string(i) + "]";
+      const std::string name = as_string(value.array[i], path);
+      const std::string folded = lowercase(name);
+      bool found = false;
+      for (const auto& [candidate, enumerator] : table) {
+        if (folded == lowercase(candidate)) {
+          out.push_back(enumerator);
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        fail(source_, value.array[i].line,
+             std::string("unknown ") + what + " \"" + name +
+                 "\"; valid values: " + joined(names),
+             path);
+    }
+    return out;
+  }
+
+  void read_mbpta(const Json& value, MbptaOptions& options) {
+    expect_type(value, Json::Type::kObject, "an object", "mbpta");
+    static const std::vector<std::string> kKeys = {"chips", "block_size",
+                                                   "seed"};
+    for (const auto& [key, field] : value.object) {
+      const std::string path = "mbpta." + key;
+      if (key == "chips") {
+        options.chips = static_cast<std::size_t>(as_u64(field, path));
+        if (options.chips == 0)
+          fail(source_, field.line, "mbpta.chips must be positive", path);
+      } else if (key == "block_size") {
+        options.block_size = static_cast<std::size_t>(as_u64(field, path));
+        if (options.block_size == 0)
+          fail(source_, field.line, "mbpta.block_size must be positive", path);
+      } else if (key == "seed") {
+        options.seed = as_u64(field, path);
+      } else {
+        std::string message = "unknown key \"" + key + "\" in mbpta options";
+        const std::string hint = closest_match(key, kKeys);
+        if (!hint.empty()) message += " — did you mean \"" + hint + "\"?";
+        fail(source_, field.line, message, path);
+      }
+    }
+  }
+
+  const std::string& source_;
+};
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+/// Shortest decimal string that parses back to exactly `value` — nicer to
+/// read than a flat %.17g (1e-15 stays "1e-15") while still bit-exact, which
+/// the spec -> JSON -> spec round-trip (campaign_spec_key equality) needs.
+std::string fmt_shortest_exact(double value) {
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) return buf;
+  }
+  return buf;
+}
+
+std::string fmt_u64_json(std::uint64_t value) {
+  // Values above 2^53 would be rounded by double-based JSON readers (and
+  // by our own parser's strtod fallback); ship them as decimal strings.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  if (value > (std::uint64_t{1} << 53)) return std::string("\"") + buf + "\"";
+  return buf;
+}
+
+template <typename T, typename Fn>
+std::string json_array(const std::vector<T>& values, Fn&& render) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += render(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+SpecDocument parse_spec(const std::string& text, const std::string& source) {
+  JsonParser parser(text, source);
+  const Json root = parser.parse_document();
+  SpecDocument doc = SpecReader(source).read(root);
+  // The reader enforces a superset of validate()'s conditions with real
+  // diagnostics; this call is a belt-and-braces check that the two never
+  // drift (it aborts, so it must be unreachable for parsed specs).
+  doc.spec.validate();
+  return doc;
+}
+
+SpecDocument load_spec(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SpecError(path + ": cannot open spec file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw SpecError(path + ": error reading spec file");
+  return parse_spec(buffer.str(), path);
+}
+
+SpecDocument load_spec_for_mechanism_tables(const std::string& path) {
+  SpecDocument doc = load_spec(path);
+  if (doc.spec.mechanisms !=
+      std::vector<Mechanism>{Mechanism::kNone,
+                             Mechanism::kSharedReliableBuffer,
+                             Mechanism::kReliableWay})
+    throw SpecError(path +
+                    ": these tables need mechanisms [\"none\", \"SRB\", "
+                    "\"RW\"] in that order; use `pwcet run` for other "
+                    "shapes");
+  return doc;
+}
+
+std::string spec_to_json(const CampaignSpec& spec, const std::string& name,
+                         const std::string& notes) {
+  std::string out = "{\n";
+  auto field = [&out](const std::string& key, const std::string& value,
+                      bool last = false) {
+    out += "  ";
+    out += json_quote(key);
+    out += ": ";
+    out += value;
+    if (!last) out += ',';
+    out += '\n';
+  };
+
+  if (!name.empty()) field("name", json_quote(name));
+  if (!notes.empty()) field("notes", json_quote(notes));
+  field("tasks", json_array(spec.tasks, json_quote));
+  std::string geometries = "[\n";
+  for (std::size_t i = 0; i < spec.geometries.size(); ++i) {
+    const CacheConfig& g = spec.geometries[i];
+    geometries += "    {\"sets\": " + std::to_string(g.sets) +
+                  ", \"ways\": " + std::to_string(g.ways) +
+                  ", \"line_bytes\": " + std::to_string(g.line_bytes) +
+                  ", \"hit_latency\": " + std::to_string(g.hit_latency) +
+                  ", \"miss_penalty\": " + std::to_string(g.miss_penalty) +
+                  "}";
+    geometries += i + 1 < spec.geometries.size() ? ",\n" : "\n";
+  }
+  geometries += "  ]";
+  field("geometries", geometries);
+  field("pfails", json_array(spec.pfails, fmt_shortest_exact));
+  field("mechanisms", json_array(spec.mechanisms, [](Mechanism m) {
+          return json_quote(mechanism_name(m));
+        }));
+  field("engines", json_array(spec.engines, [](WcetEngine e) {
+          return json_quote(engine_name(e));
+        }));
+  field("kinds", json_array(spec.kinds, [](AnalysisKind k) {
+          return json_quote(analysis_kind_name(k));
+        }));
+  field("target_exceedance", fmt_shortest_exact(spec.target_exceedance));
+  field("max_distribution_points",
+        std::to_string(spec.max_distribution_points));
+  field("mbpta", "{\"chips\": " + std::to_string(spec.mbpta.chips) +
+                     ", \"block_size\": " +
+                     std::to_string(spec.mbpta.block_size) +
+                     ", \"seed\": " + fmt_u64_json(spec.mbpta.seed) + "}");
+  field("simulation_chips", std::to_string(spec.simulation_chips));
+  field("base_seed", fmt_u64_json(spec.base_seed), /*last=*/true);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pwcet

@@ -1,17 +1,18 @@
-// Fixed-size worker pool for the campaign engine.
-//
-// Design constraints, in order of importance:
-//   1. *Determinism*: callers collect results by submission index, never by
-//      completion order, so a run with N workers is byte-identical to a run
-//      with 1 worker (given per-job seeding, see engine/campaign.hpp).
-//   2. *Nested fan-out without deadlock*: a task running on a worker may
-//      itself submit subtasks and wait for them (the per-set fan-out inside
-//      one pWCET analysis rides the same pool as the campaign jobs). Waiting
-//      threads therefore *help*: they drain queued tasks instead of
-//      blocking, so the pool can never starve itself.
-//   3. *Exception propagation*: a throwing task surfaces at the waiter's
-//      `get()`, not in a worker thread; `map_indexed` drains all siblings
-//      before rethrowing so no task outlives its captured state.
+/// \file
+/// Fixed-size worker pool for the campaign engine.
+///
+/// Design constraints, in order of importance:
+///   1. *Determinism*: callers collect results by submission index, never by
+///      completion order, so a run with N workers is byte-identical to a run
+///      with 1 worker (given per-job seeding, see engine/campaign.hpp).
+///   2. *Nested fan-out without deadlock*: a task running on a worker may
+///      itself submit subtasks and wait for them (the per-set fan-out inside
+///      one pWCET analysis rides the same pool as the campaign jobs). Waiting
+///      threads therefore *help*: they drain queued tasks instead of
+///      blocking, so the pool can never starve itself.
+///   3. *Exception propagation*: a throwing task surfaces at the waiter's
+///      `get()`, not in a worker thread; `map_indexed` drains all siblings
+///      before rethrowing so no task outlives its captured state.
 #pragma once
 
 #include <chrono>

@@ -1,16 +1,17 @@
-// Facade over the two store tiers, shared by the analyzer and the
-// campaign engine.
-//
-// One AnalysisStore instance serves a whole campaign (and, if the caller
-// keeps it alive, any number of campaigns — that is how warm re-runs are
-// measured in bench/perf_analysis_time.cpp). All methods are thread-safe;
-// pool workers use the store concurrently.
-//
-// Determinism: the store only ever returns bits some earlier invocation
-// of the *same deterministic computation on the same inputs* produced, so
-// enabling it cannot change a single byte of any report — enforced by
-// tests/store_test.cpp (store on vs off, single- vs multi-threaded, cold
-// vs warm disk cache).
+/// \file
+/// Facade over the two store tiers, shared by the analyzer and the
+/// campaign engine.
+///
+/// One AnalysisStore instance serves a whole campaign (and, if the caller
+/// keeps it alive, any number of campaigns — that is how warm re-runs are
+/// measured in bench/perf_analysis_time.cpp). All methods are thread-safe;
+/// pool workers use the store concurrently.
+///
+/// Determinism: the store only ever returns bits some earlier invocation
+/// of the *same deterministic computation on the same inputs* produced, so
+/// enabling it cannot change a single byte of any report — enforced by
+/// tests/store_test.cpp (store on vs off, single- vs multi-threaded, cold
+/// vs warm disk cache).
 #pragma once
 
 #include <memory>

@@ -1,21 +1,22 @@
-// On-disk artifact tier of the content-addressed analysis store.
-//
-// Artifacts are versioned JSONL files under a cache directory, one file
-// per (kind, key): the first line is a header object naming the format
-// version, kind, key and the payload's content hash; payload lines
-// follow. Loads validate all of it and return nothing on any mismatch
-// (missing file, version bump, kind or key collision, truncation, or
-// value-level corruption anywhere in the payload) — a corrupt or stale
-// cache degrades to a recompute, never to a wrong answer.
-//
-// Byte-identity contract: what store_distribution writes, load_distribution
-// reconstructs *exactly* (values are 64-bit integers; probabilities are
-// printed with "%.17g", which round-trips IEEE doubles bit for bit through
-// strtod). tests/store_test.cpp asserts the round-trip.
-//
-// Writes go to a unique temp file in the cache directory and are renamed
-// into place, so concurrent writers (pool threads, parallel processes)
-// race benignly: both write identical bytes and the last rename wins.
+/// \file
+/// On-disk artifact tier of the content-addressed analysis store.
+///
+/// Artifacts are versioned JSONL files under a cache directory, one file
+/// per (kind, key): the first line is a header object naming the format
+/// version, kind, key and the payload's content hash; payload lines
+/// follow. Loads validate all of it and return nothing on any mismatch
+/// (missing file, version bump, kind or key collision, truncation, or
+/// value-level corruption anywhere in the payload) — a corrupt or stale
+/// cache degrades to a recompute, never to a wrong answer.
+///
+/// Byte-identity contract: what store_distribution writes, load_distribution
+/// reconstructs *exactly* (values are 64-bit integers; probabilities are
+/// printed with "%.17g", which round-trips IEEE doubles bit for bit through
+/// strtod). tests/store_test.cpp asserts the round-trip.
+///
+/// Writes go to a unique temp file in the cache directory and are renamed
+/// into place, so concurrent writers (pool threads, parallel processes)
+/// race benignly: both write identical bytes and the last rename wins.
 #pragma once
 
 #include <atomic>

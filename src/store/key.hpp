@@ -1,19 +1,20 @@
-// Stable 128-bit structural hashing for the content-addressed analysis
-// store (src/store/).
-//
-// Keys must be *stable*: the same analysis inputs hash to the same key in
-// every process, on every platform, forever — on-disk artifacts written by
-// one run are looked up by later runs, and a silent drift would turn every
-// cache into a miss (or worse, a wrong hit under a colliding scheme). The
-// mixer is therefore defined here bit for bit: no std::hash, no pointer
-// values, no iteration over unordered containers; strings are mixed as a
-// length prefix plus little-endian 64-bit chunks, doubles by their
-// IEEE-754 bit pattern. tests/store_test.cpp pins golden key values so any
-// accidental change to the algorithm fails loudly.
-//
-// Collisions: keys are 128 bits of a well-mixed (splitmix64-based) state,
-// so accidental collisions are negligible (~2^-64 at a billion entries);
-// the store treats equal keys as equal inputs.
+/// \file
+/// Stable 128-bit structural hashing for the content-addressed analysis
+/// store (src/store/).
+///
+/// Keys must be *stable*: the same analysis inputs hash to the same key in
+/// every process, on every platform, forever — on-disk artifacts written by
+/// one run are looked up by later runs, and a silent drift would turn every
+/// cache into a miss (or worse, a wrong hit under a colliding scheme). The
+/// mixer is therefore defined here bit for bit: no std::hash, no pointer
+/// values, no iteration over unordered containers; strings are mixed as a
+/// length prefix plus little-endian 64-bit chunks, doubles by their
+/// IEEE-754 bit pattern. tests/store_test.cpp pins golden key values so any
+/// accidental change to the algorithm fails loudly.
+///
+/// Collisions: keys are 128 bits of a well-mixed (splitmix64-based) state,
+/// so accidental collisions are negligible (~2^-64 at a billion entries);
+/// the store treats equal keys as equal inputs.
 #pragma once
 
 #include <cstddef>

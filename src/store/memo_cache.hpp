@@ -1,17 +1,18 @@
-// Sharded in-memory LRU memoization cache, the hot tier of the
-// content-addressed analysis store.
-//
-// Values are immutable (shared_ptr<const void>), so a hit hands back the
-// exact bits a previous computation produced — which is what makes
-// memoization invisible to the engine's byte-identity contract: a key
-// captures *every* input of the computation it names, and the computation
-// is deterministic, so recomputing could only reproduce the cached value.
-//
-// Concurrency: the key space is split across independently locked shards
-// (by key bits, so the mapping is stable); campaign workers hammer the
-// cache from many threads without a global lock. Two threads racing on
-// the same missing key may both compute; both produce identical bits and
-// the losing insert is dropped, so the race is benign.
+/// \file
+/// Sharded in-memory LRU memoization cache, the hot tier of the
+/// content-addressed analysis store.
+///
+/// Values are immutable (shared_ptr<const void>), so a hit hands back the
+/// exact bits a previous computation produced — which is what makes
+/// memoization invisible to the engine's byte-identity contract: a key
+/// captures *every* input of the computation it names, and the computation
+/// is deterministic, so recomputing could only reproduce the cached value.
+///
+/// Concurrency: the key space is split across independently locked shards
+/// (by key bits, so the mapping is stable); campaign workers hammer the
+/// cache from many threads without a global lock. Two threads racing on
+/// the same missing key may both compute; both produce identical bits and
+/// the losing insert is dropped, so the race is benign.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,19 @@
+/// \file
+/// Shared JSON string escaping, used by every JSON writer in the tree
+/// (engine/report.cpp's JSONL rows, engine/spec_io.cpp's spec serializer)
+/// so the escape table cannot drift between them.
+#pragma once
+
+#include <string>
+
+namespace pwcet {
+
+/// Full RFC 8259 string escaping. Control characters matter most here:
+/// an unescaped newline in a label would split a JSONL row in two and
+/// break every byte-identity check downstream.
+std::string json_escape(const std::string& s);
+
+/// `json_escape` wrapped in double quotes — a ready-to-emit JSON string.
+std::string json_quote(const std::string& s);
+
+}  // namespace pwcet

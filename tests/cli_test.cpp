@@ -1,0 +1,302 @@
+// In-process tests for the `pwcet` CLI (cli/cli.hpp): the smoke contract
+// that `pwcet run <spec>` emits byte-identical reports to the programmatic
+// campaign API (store on or off, any thread count), plus exit-code and
+// diagnostic behavior for malformed inputs, and the describe/list/cache
+// subcommands.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "engine/report.hpp"
+#include "engine/runner.hpp"
+#include "engine/spec_io.hpp"
+
+#ifndef PWCET_SPECS_DIR
+#define PWCET_SPECS_DIR "specs"
+#endif
+
+namespace pwcet {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  CliResult result;
+  result.code = cli::run(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("pwcet_cli_test_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& text) {
+    const std::string path = (fs::path(dir_) / name).string();
+    std::ofstream(path, std::ios::binary) << text;
+    return path;
+  }
+
+  static std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  /// The tiny campaign used by the identity tests (12 cheap SPTA jobs),
+  /// as both a spec file and its programmatic twin.
+  std::string tiny_spec_path() {
+    return write_file("tiny.json", R"({
+      "tasks": ["fibcall", "bs"],
+      "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+      "pfails": [1e-6, 1e-4],
+      "mechanisms": ["none", "SRB", "RW"]
+    })");
+  }
+
+  static CampaignSpec tiny_spec_programmatic() {
+    CampaignSpec spec;
+    spec.tasks = {"fibcall", "bs"};
+    spec.geometries = {CacheConfig::paper_default()};
+    spec.pfails = {1e-6, 1e-4};
+    spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                       Mechanism::kReliableWay};
+    return spec;
+  }
+
+  std::string dir_;
+};
+
+// ---- pwcet run: byte-identity with the programmatic API --------------------
+
+TEST_F(CliTest, RunEmitsByteIdenticalReportsAtAnyThreadCountAndStoreMode) {
+  const std::string spec_path = tiny_spec_path();
+
+  RunnerOptions reference_options;
+  reference_options.threads = 1;
+  const CampaignResult reference =
+      run_campaign(tiny_spec_programmatic(), reference_options);
+  const std::string csv = report_csv(reference);
+  const std::string jsonl = report_jsonl(reference);
+
+  // Default store, default threads.
+  CliResult result = run_cli({"run", spec_path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out, csv);
+
+  // Different thread count, store disabled: same bytes.
+  result = run_cli({"run", spec_path, "--threads", "2", "--store", "off"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out, csv);
+
+  // JSONL format.
+  result = run_cli({"run", spec_path, "--format", "jsonl"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out, jsonl);
+
+  // Disk tier enabled: cold run, then warm run answered from the
+  // persisted campaign artifact — still the same bytes.
+  const std::string cache = (fs::path(dir_) / "cache").string();
+  result = run_cli({"run", spec_path, "--cache-dir", cache});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out, csv);
+  result = run_cli({"run", spec_path, "--cache-dir", cache});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out, csv);
+}
+
+TEST_F(CliTest, RunWithOutputWritesTheExampleBinaryReportFiles) {
+  const std::string spec_path = tiny_spec_path();
+  const std::string base = (fs::path(dir_) / "report").string();
+
+  const CliResult result = run_cli({"run", spec_path, "--output", base});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out, "");  // report went to files, stdout stays empty
+
+  // The files must match what the programmatic API (and therefore every
+  // example binary, which calls the same write_report_files) produces.
+  const CampaignResult reference =
+      run_campaign(tiny_spec_programmatic(), RunnerOptions{});
+  EXPECT_EQ(read_file(base + ".csv"), report_csv(reference));
+  EXPECT_EQ(read_file(base + ".jsonl"), report_jsonl(reference));
+}
+
+TEST_F(CliTest, ExplicitStoreOnBeatsPwcetStoreEnvironment) {
+  const std::string spec_path = tiny_spec_path();
+  const char* saved = std::getenv("PWCET_STORE");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::setenv("PWCET_STORE", "0", 1);
+  const CliResult with_flag = run_cli({"run", spec_path, "--store", "on"});
+  const CliResult defaulted = run_cli({"run", spec_path});
+  if (saved != nullptr) {
+    ::setenv("PWCET_STORE", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("PWCET_STORE");
+  }
+  ASSERT_EQ(with_flag.code, 0) << with_flag.err;
+  ASSERT_EQ(defaulted.code, 0) << defaulted.err;
+  // The env knob disables the default store (it exists to drive the
+  // spec-less bench binaries)...
+  EXPECT_NE(defaulted.err.find("store: 0 hits / 0 misses"),
+            std::string::npos)
+      << defaulted.err;
+  // ...but an explicit --store on wins over it.
+  EXPECT_EQ(with_flag.err.find("store: 0 hits / 0 misses"),
+            std::string::npos)
+      << with_flag.err;
+  // Byte-identity holds either way.
+  EXPECT_EQ(with_flag.out, defaulted.out);
+}
+
+TEST_F(CliTest, LastStoreFlagWins) {
+  const std::string spec_path = tiny_spec_path();
+  const CliResult result =
+      run_cli({"run", spec_path, "--store", "on", "--store", "off"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.err.find("store: 0 hits / 0 misses"), std::string::npos)
+      << result.err;
+}
+
+// ---- error handling --------------------------------------------------------
+
+TEST_F(CliTest, MalformedSpecFailsNonZeroNamingTheField) {
+  const std::string bad = write_file("bad.json", R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["reliable-way"]
+  })");
+  const CliResult result = run_cli({"run", bad});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("unknown mechanism \"reliable-way\""),
+            std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("mechanisms[0]"), std::string::npos) << result.err;
+  EXPECT_NE(result.err.find(":5"), std::string::npos) << result.err;
+}
+
+TEST_F(CliTest, MissingSpecFileFailsNonZero) {
+  const CliResult result = run_cli({"run", dir_ + "/nope.json"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("cannot open spec file"), std::string::npos);
+}
+
+TEST_F(CliTest, UsageErrorsExitWithTwo) {
+  EXPECT_EQ(run_cli({}).code, 2);
+  EXPECT_EQ(run_cli({"frobnicate"}).code, 2);
+  EXPECT_EQ(run_cli({"run"}).code, 2);
+  EXPECT_EQ(run_cli({"run", "a.json", "--format", "yaml"}).code, 2);
+  EXPECT_EQ(run_cli({"run", "a.json", "--threads", "many"}).code, 2);
+  EXPECT_EQ(run_cli({"run", "a.json", "--store", "maybe"}).code, 2);
+  EXPECT_EQ(run_cli({"run", "a.json", "--threads"}).code, 2);
+  EXPECT_EQ(run_cli({"run", "a.json", "--output", "b", "--format", "csv"})
+                .code,
+            2);
+  EXPECT_EQ(run_cli({"cache", "flush"}).code, 2);
+  EXPECT_EQ(run_cli({"help"}).code, 0);
+}
+
+// ---- describe / list -------------------------------------------------------
+
+TEST_F(CliTest, DescribeExpandsTheGridWithoutRunning) {
+  const CliResult result =
+      run_cli({"describe", PWCET_SPECS_DIR "/geometry_sweep.json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  // 6 tasks x 5 geometries x 1 pfail x 3 mechanisms = 90 jobs.
+  EXPECT_NE(result.out.find("= 90 jobs"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("spec key: "), std::string::npos);
+  // Seeds in the listing are the exact per-job derived seeds.
+  const SpecDocument doc = load_spec(PWCET_SPECS_DIR "/geometry_sweep.json");
+  const std::vector<CampaignJob> jobs = expand_campaign(doc.spec);
+  EXPECT_NE(result.out.find(std::to_string(jobs.front().seed)),
+            std::string::npos);
+  EXPECT_NE(result.out.find(std::to_string(jobs.back().seed)),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ListNamesEveryAxisValue) {
+  const CliResult result = run_cli({"list"});
+  EXPECT_EQ(result.code, 0);
+  for (const char* needle : {"adpcm", "statemate", "none", "RW", "SRB", "ilp",
+                             "tree", "spta", "mbpta", "sim"})
+    EXPECT_NE(result.out.find(needle), std::string::npos) << needle;
+}
+
+// ---- cache -----------------------------------------------------------------
+
+TEST_F(CliTest, CacheStatsAndClearManageTheArtifactDirectory) {
+  const std::string spec_path = tiny_spec_path();
+  const std::string cache = (fs::path(dir_) / "cache").string();
+
+  // No directory yet.
+  CliResult result = run_cli({"cache", "stats", "--cache-dir", cache});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("does not exist"), std::string::npos);
+
+  // Populate it, then stats must see the artifacts.
+  ASSERT_EQ(run_cli({"run", spec_path, "--cache-dir", cache}).code, 0);
+  result = run_cli({"cache", "stats", "--cache-dir", cache});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("campaign-report"), std::string::npos)
+      << result.out;
+
+  // Clear, then stats must see an empty cache again.
+  result = run_cli({"cache", "clear", "--cache-dir", cache});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("removed "), std::string::npos);
+  result = run_cli({"cache", "stats", "--cache-dir", cache});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_EQ(result.out.find("campaign-report"), std::string::npos)
+      << result.out;
+
+  // A foreign file in the cache directory survives `clear`, but an
+  // orphaned artifact temp file (a writer died before its rename) is
+  // swept even when its kind directory holds nothing else.
+  const std::string foreign = (fs::path(cache) / "README").string();
+  std::ofstream(foreign) << "not an artifact";
+  const fs::path orphan_dir = fs::path(cache) / "distribution";
+  fs::create_directories(orphan_dir);
+  const std::string orphan =
+      (orphan_dir / "deadbeef.jsonl.tmp123.4").string();
+  std::ofstream(orphan) << "partial write";
+  ASSERT_EQ(run_cli({"cache", "clear", "--cache-dir", cache}).code, 0);
+  EXPECT_TRUE(fs::exists(foreign));
+  EXPECT_FALSE(fs::exists(orphan));
+}
+
+TEST_F(CliTest, CacheWithoutDirectoryIsAnError) {
+  // No --cache-dir and no PWCET_CACHE_DIR: refuse rather than guess.
+  const char* saved = std::getenv("PWCET_CACHE_DIR");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::unsetenv("PWCET_CACHE_DIR");
+  const CliResult result = run_cli({"cache", "stats"});
+  if (saved != nullptr) ::setenv("PWCET_CACHE_DIR", saved_value.c_str(), 1);
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("no cache directory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pwcet

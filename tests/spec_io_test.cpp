@@ -1,0 +1,379 @@
+// Unit tests for the campaign-spec file format (engine/spec_io.hpp):
+//
+//  - round-trip: spec -> JSON -> spec preserves every field that reaches
+//    campaign_spec_key (so a serialized spec is a byte-equivalent stand-in
+//    for the programmatic campaign it came from);
+//  - the shipped specs under specs/ reproduce the exact programmatic
+//    campaigns the example/bench binaries used to construct in C++;
+//  - defaults match the C++ defaults of CampaignSpec;
+//  - malformed specs are rejected with diagnostics naming the offending
+//    field (and its line), never with an abort.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/spec_io.hpp"
+
+#ifndef PWCET_SPECS_DIR
+#define PWCET_SPECS_DIR "specs"
+#endif
+
+namespace pwcet {
+namespace {
+
+CampaignSpec parse_ok(const std::string& text) {
+  return parse_spec(text, "<inline>").spec;
+}
+
+/// Asserts that parsing fails and that the diagnostic mentions every
+/// expected fragment (field names, line numbers, suggestions).
+void expect_rejected(const std::string& text,
+                     const std::vector<std::string>& fragments) {
+  try {
+    parse_spec(text, "<inline>");
+    FAIL() << "spec unexpectedly parsed:\n" << text;
+  } catch (const SpecError& e) {
+    const std::string message = e.what();
+    for (const std::string& fragment : fragments)
+      EXPECT_NE(message.find(fragment), std::string::npos)
+          << "missing \"" << fragment << "\" in diagnostic:\n  " << message;
+  }
+}
+
+const char* kMinimalSpec = R"({
+  "tasks": ["fibcall"],
+  "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+  "pfails": [1e-4],
+  "mechanisms": ["none"]
+})";
+
+// ---- happy path ------------------------------------------------------------
+
+TEST(SpecIo, MinimalSpecGetsCxxDefaults) {
+  const CampaignSpec spec = parse_ok(kMinimalSpec);
+  const CampaignSpec defaults;
+  EXPECT_EQ(spec.tasks, std::vector<std::string>{"fibcall"});
+  ASSERT_EQ(spec.geometries.size(), 1u);
+  EXPECT_EQ(spec.geometries[0].hit_latency, CacheConfig{}.hit_latency);
+  EXPECT_EQ(spec.geometries[0].miss_penalty, CacheConfig{}.miss_penalty);
+  ASSERT_EQ(spec.engines.size(), 1u);
+  EXPECT_EQ(spec.engines[0], WcetEngine::kIlp);
+  ASSERT_EQ(spec.kinds.size(), 1u);
+  EXPECT_EQ(spec.kinds[0], AnalysisKind::kSpta);
+  EXPECT_EQ(spec.target_exceedance, defaults.target_exceedance);
+  EXPECT_EQ(spec.max_distribution_points, defaults.max_distribution_points);
+  EXPECT_EQ(spec.mbpta.chips, defaults.mbpta.chips);
+  EXPECT_EQ(spec.mbpta.block_size, defaults.mbpta.block_size);
+  EXPECT_EQ(spec.mbpta.seed, defaults.mbpta.seed);
+  EXPECT_EQ(spec.simulation_chips, defaults.simulation_chips);
+  EXPECT_EQ(spec.base_seed, defaults.base_seed);
+}
+
+TEST(SpecIo, EnumNamesAreCaseInsensitive) {
+  const CampaignSpec spec = parse_ok(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["NONE", "rw", "Srb"],
+    "engines": ["ILP", "Tree"],
+    "kinds": ["SPTA", "sim"]
+  })");
+  EXPECT_EQ(spec.mechanisms,
+            (std::vector<Mechanism>{Mechanism::kNone, Mechanism::kReliableWay,
+                                    Mechanism::kSharedReliableBuffer}));
+  EXPECT_EQ(spec.engines,
+            (std::vector<WcetEngine>{WcetEngine::kIlp, WcetEngine::kTree}));
+  EXPECT_EQ(spec.kinds, (std::vector<AnalysisKind>{AnalysisKind::kSpta,
+                                                   AnalysisKind::kSimulation}));
+}
+
+TEST(SpecIo, RoundTripPreservesEveryKeyedField) {
+  CampaignSpec spec;
+  spec.tasks = {"fibcall", "adpcm", "fft"};
+  CacheConfig small;
+  small.sets = 8;
+  small.ways = 2;
+  small.line_bytes = 32;
+  small.hit_latency = 2;
+  small.miss_penalty = 77;
+  spec.geometries = {CacheConfig::paper_default(), small};
+  spec.pfails = {6.1e-13, 1e-4, 0.125};
+  spec.mechanisms = {Mechanism::kSharedReliableBuffer, Mechanism::kNone,
+                     Mechanism::kReliableWay};
+  spec.engines = {WcetEngine::kTree, WcetEngine::kIlp};
+  spec.kinds = {AnalysisKind::kMbpta, AnalysisKind::kSpta,
+                AnalysisKind::kSimulation};
+  spec.target_exceedance = 1e-12;
+  spec.max_distribution_points = 512;
+  spec.mbpta.chips = 128;
+  spec.mbpta.block_size = 16;
+  spec.mbpta.seed = 0xfeedface;
+  spec.simulation_chips = 99;
+  spec.base_seed = 0x0123456789abcdefULL;  // above 2^53: string route
+
+  const std::string json = spec_to_json(spec, "round-trip", "notes text");
+  const SpecDocument doc = parse_spec(json, "<round-trip>");
+  EXPECT_EQ(doc.name, "round-trip");
+  EXPECT_EQ(doc.notes, "notes text");
+  EXPECT_EQ(doc.spec.tasks, spec.tasks);
+  EXPECT_EQ(doc.spec.pfails, spec.pfails);
+  EXPECT_EQ(doc.spec.base_seed, spec.base_seed);
+  EXPECT_EQ(doc.spec.mbpta.seed, spec.mbpta.seed);
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+
+  // Second generation must be textually stable (canonical form).
+  EXPECT_EQ(spec_to_json(doc.spec, doc.name, doc.notes), json);
+}
+
+TEST(SpecIo, SeedsAboveDoublePrecisionSurviveAsStrings) {
+  const CampaignSpec spec = parse_ok(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "base_seed": "18446744073709551615"
+  })");
+  EXPECT_EQ(spec.base_seed, 18446744073709551615ULL);
+}
+
+// ---- shipped specs reproduce the programmatic campaigns --------------------
+
+std::string shipped(const char* name) {
+  return std::string(PWCET_SPECS_DIR) + "/" + name;
+}
+
+TEST(ShippedSpecs, GeometrySweepMatchesProgrammaticCampaign) {
+  // The exact spec bench/tab_geometry_sweep.cpp used to build in C++.
+  CampaignSpec spec;
+  spec.tasks = {"adpcm", "matmult", "crc", "fft", "fibcall", "ud"};
+  for (const auto& [sets, ways, line] :
+       {std::tuple{32u, 2u, 16u}, std::tuple{16u, 4u, 16u},
+        std::tuple{8u, 8u, 16u}, std::tuple{32u, 4u, 8u},
+        std::tuple{8u, 4u, 32u}}) {
+    CacheConfig config;
+    config.sets = sets;
+    config.ways = ways;
+    config.line_bytes = line;
+    spec.geometries.push_back(config);
+  }
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.target_exceedance = 1e-15;
+
+  const SpecDocument doc = load_spec(shipped("geometry_sweep.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, PfailSweepMatchesProgrammaticCampaign) {
+  // The exact spec bench/tab_pfail_sweep.cpp used to build in C++.
+  CampaignSpec spec;
+  spec.tasks = {"adpcm", "fibcall", "matmult", "crc", "fft", "ud"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {6.1e-13, 1e-9, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.target_exceedance = 1e-15;
+
+  const SpecDocument doc = load_spec(shipped("pfail_sweep.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, MbptaVsSptaMatchesProgrammaticCampaign) {
+  // The exact spec bench/tab_mbpta_vs_spta.cpp used to build in C++.
+  CampaignSpec spec;
+  spec.tasks = {"fibcall", "bs", "matmult", "crc", "fft", "ud"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-3};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kReliableWay,
+                     Mechanism::kSharedReliableBuffer};
+  spec.kinds = {AnalysisKind::kSpta, AnalysisKind::kMbpta};
+  spec.target_exceedance = 1e-15;
+  spec.mbpta.chips = 400;
+  spec.mbpta.block_size = 20;
+
+  const SpecDocument doc = load_spec(shipped("mbpta_vs_spta.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, ArchitectureTradeoffMatchesProgrammaticCampaign) {
+  // The exact spec examples/architecture_tradeoff.cpp used to build in C++.
+  CampaignSpec spec;
+  spec.tasks = {"statemate", "fft", "adpcm"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-6, 1e-5, 1e-4, 1e-3};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.target_exceedance = 1e-15;
+
+  const SpecDocument doc = load_spec(shipped("architecture_tradeoff.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, EverySpecRoundTripsThroughTheSerializer) {
+  for (const char* name :
+       {"geometry_sweep.json", "pfail_sweep.json", "mbpta_vs_spta.json",
+        "architecture_tradeoff.json"}) {
+    const SpecDocument doc = load_spec(shipped(name));
+    const SpecDocument again =
+        parse_spec(spec_to_json(doc.spec, doc.name, doc.notes), name);
+    EXPECT_EQ(campaign_spec_key(again.spec), campaign_spec_key(doc.spec))
+        << name;
+  }
+}
+
+// ---- rejection diagnostics -------------------------------------------------
+
+TEST(SpecIoErrors, UnknownKeySuggestsTheClosestOne) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisim": ["none"]
+  })",
+                  {"<inline>:5", "unknown key \"mechanisim\"",
+                   "did you mean \"mechanisms\"?", "field \"mechanisim\""});
+}
+
+TEST(SpecIoErrors, BadEnumValueListsValidValues) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none", "rww"]
+  })",
+                  {"<inline>:5", "unknown mechanism \"rww\"",
+                   "valid values: none, RW, SRB", "field \"mechanisms[1]\""});
+}
+
+TEST(SpecIoErrors, UnknownTaskSuggestsTheClosestBenchmark) {
+  expect_rejected(R"({
+    "tasks": ["adpcmx"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"]
+  })",
+                  {"<inline>:2", "unknown task \"adpcmx\"",
+                   "did you mean \"adpcm\"?", "field \"tasks[0]\""});
+}
+
+TEST(SpecIoErrors, MissingRequiredKeyIsNamed) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4]
+  })",
+                  {"missing required key \"mechanisms\""});
+}
+
+TEST(SpecIoErrors, WrongTypeIsNamedWithTheActualType) {
+  expect_rejected(R"({
+    "tasks": "fibcall",
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"]
+  })",
+                  {"expected an array of task names, got a string",
+                   "field \"tasks\""});
+}
+
+TEST(SpecIoErrors, NonIntegralCountIsRejected) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16.5, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"]
+  })",
+                  {"field \"geometries[0].sets\"", "non-integral"});
+}
+
+TEST(SpecIoErrors, GeometryConstraintsAreExplained) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 10}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"]
+  })",
+                  {"line_bytes must be a positive multiple of 4",
+                   "field \"geometries[0].line_bytes\""});
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"]
+  })",
+                  {"geometry is missing \"line_bytes\""});
+}
+
+TEST(SpecIoErrors, CycleCountsBeyondInt64AreRejectedNotWrapped) {
+  // 10^19 fits u64 but not int64; an unchecked cast would wrap negative
+  // and abort in CampaignSpec::validate instead of reporting.
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16,
+                    "hit_latency": 10000000000000000000}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"]
+  })",
+                  {"does not fit in a signed 64-bit cycle count",
+                   "field \"geometries[0].hit_latency\""});
+}
+
+TEST(SpecIoErrors, ProbabilityRangeIsEnforced) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1.5],
+    "mechanisms": ["none"]
+  })",
+                  {"must be in [0, 1]", "field \"pfails[0]\""});
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "target_exceedance": 0
+  })",
+                  {"target_exceedance must be in (0, 1]"});
+}
+
+TEST(SpecIoErrors, EmptyAxesAreRejected) {
+  expect_rejected(R"({
+    "tasks": [],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"]
+  })",
+                  {"\"tasks\" must not be empty"});
+}
+
+TEST(SpecIoErrors, MbptaPopulationConstraintIsExplained) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "kinds": ["mbpta"],
+    "mbpta": {"chips": 10, "block_size": 20}
+  })",
+                  {"mbpta.chips must be at least 2 * mbpta.block_size",
+                   "field \"mbpta.chips\""});
+}
+
+TEST(SpecIoErrors, SyntaxErrorsCarryLineNumbers) {
+  expect_rejected("{\n  \"tasks\": [\"fibcall\",\n}",
+                  {"<inline>:3"});
+  expect_rejected(std::string(kMinimalSpec) + " trailing",
+                  {"trailing content"});
+  expect_rejected(R"({"tasks": ["fibcall"], "tasks": ["bs"]})",
+                  {"duplicate key \"tasks\""});
+}
+
+TEST(SpecIoErrors, MissingFileIsAnErrorNotAnAbort) {
+  EXPECT_THROW(load_spec("/nonexistent/spec.json"), SpecError);
+}
+
+}  // namespace
+}  // namespace pwcet

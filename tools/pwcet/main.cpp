@@ -1,0 +1,12 @@
+// Entry point of the `pwcet` binary. All behavior lives in cli/cli.cpp so
+// the test suite can drive the exact same code in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return pwcet::cli::run(args, std::cout, std::cerr);
+}
