@@ -2,52 +2,90 @@
 // (exceedance function) of the pWCET of benchmark adpcm for three levels of
 // protection — none, SRB, RW — at pfail = 1e-4.
 //
-// Output: one (exceedance probability, pWCET cycles) series per mechanism,
-// sampled at decade probabilities from 1e0 down to 1e-16, exactly the range
-// of the paper's y-axis. The expected shape: a near-vertical drop around
-// the fault-free WCET, then plateaus; the no-protection curve extends far
-// to the right at low probabilities (whole-set failures), while the RW and
-// SRB curves stay close to the fault-free WCET.
-#include <cmath>
+// The campaign itself is declared in specs/ccdf.json — this binary is a
+// thin wrapper that loads the spec (pass a path as argv[1] to run a
+// variant), executes it on the thread pool (PWCET_THREADS workers) and
+// pivots the distribution sink into the paper-style decade table. Running
+// `pwcet run specs/ccdf.json` produces byte-identical machine-readable
+// reports (fig3_ccdf.{csv,jsonl} plus fig3_ccdf.dist.{csv,jsonl} — the
+// per-decade series live in the .dist files).
+//
+// The expected shape: a near-vertical drop around the fault-free WCET,
+// then plateaus; the no-protection curve extends far to the right at low
+// probabilities (whole-set failures), while the RW and SRB curves stay
+// close to the fault-free WCET.
 #include <cstdio>
+#include <string>
 
-#include "core/pwcet_analyzer.hpp"
+#include "engine/report.hpp"
+#include "engine/runner.hpp"
+#include "engine/spec_io.hpp"
 #include "support/table.hpp"
-#include "workloads/malardalen.hpp"
 
-int main() {
+#ifndef PWCET_SPECS_DIR
+#define PWCET_SPECS_DIR "specs"
+#endif
+
+int main(int argc, char** argv) {
   using namespace pwcet;
-  const CacheConfig config = CacheConfig::paper_default();
-  const FaultModel faults(1e-4);
+  const std::string spec_path =
+      argc > 1 ? argv[1] : PWCET_SPECS_DIR "/ccdf.json";
 
-  const Program program = workloads::build("adpcm");
-  const PwcetAnalyzer analyzer(program, config);
+  SpecDocument doc;
+  try {
+    doc = load_spec_for_mechanism_tables(spec_path);
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  const CampaignSpec& spec = doc.spec;
+  if (spec.ccdf_exceedances.empty()) {
+    std::fprintf(stderr,
+                 "%s: this figure needs \"ccdf_exceedances\" (the CCDF "
+                 "series); use `pwcet run` for scalar campaigns\n",
+                 spec_path.c_str());
+    return 1;
+  }
+
+  RunnerOptions options;
+  options.threads = threads_from_env();
+  const CampaignResult campaign = run_campaign(spec, options);
+
+  // Pivot the first grid cell of each mechanism (none/SRB/RW per the
+  // shape check above); extra axis values stay in the report files.
+  const JobResult& none = campaign.at(0, 0, 0, 0);
+  const JobResult& srb = campaign.at(0, 0, 0, 1);
+  const JobResult& rw = campaign.at(0, 0, 0, 2);
 
   std::printf(
-      "Fig. 3 — pWCET exceedance (CCDF) for adpcm, pfail = %g\n"
+      "Fig. 3 — pWCET exceedance (CCDF) for %s, pfail = %s\n"
       "fault-free WCET = %lld cycles\n\n",
-      faults.pfail(), static_cast<long long>(analyzer.fault_free_wcet()));
-
-  const PwcetResult none = analyzer.analyze(faults, Mechanism::kNone);
-  const PwcetResult rw = analyzer.analyze(faults, Mechanism::kReliableWay);
-  const PwcetResult srb =
-      analyzer.analyze(faults, Mechanism::kSharedReliableBuffer);
+      spec.tasks[0].c_str(), fmt_prob(spec.pfails[0]).c_str(),
+      static_cast<long long>(none.fault_free_wcet));
 
   TextTable table({"exceedance", "no-protection", "SRB", "RW"});
-  for (int decade = 0; decade >= -16; --decade) {
-    const double p = std::pow(10.0, decade);
-    table.add_row({fmt_prob(p), std::to_string(none.pwcet(p)),
-                   std::to_string(srb.pwcet(p)),
-                   std::to_string(rw.pwcet(p))});
-  }
+  for (std::size_t i = 0; i < spec.ccdf_exceedances.size(); ++i)
+    table.add_row({fmt_prob(spec.ccdf_exceedances[i]),
+                   std::to_string(static_cast<long long>(none.curve[i])),
+                   std::to_string(static_cast<long long>(srb.curve[i])),
+                   std::to_string(static_cast<long long>(rw.curve[i]))});
   std::printf("%s\n", table.to_string().c_str());
 
   // The paper's qualitative claims at the certification target.
-  const double target = 1e-15;
-  std::printf("at 1e-15: none=%lld  SRB=%lld  RW=%lld  (expect RW <= SRB "
+  std::printf("at %s: none=%lld  SRB=%lld  RW=%lld  (expect RW <= SRB "
               "<= none; plateaus from whole-set failures on 'none')\n",
-              static_cast<long long>(none.pwcet(target)),
-              static_cast<long long>(srb.pwcet(target)),
-              static_cast<long long>(rw.pwcet(target)));
+              fmt_prob(spec.target_exceedance).c_str(),
+              static_cast<long long>(none.pwcet),
+              static_cast<long long>(srb.pwcet),
+              static_cast<long long>(rw.pwcet));
+
+  if (!write_report_files(campaign, "fig3_ccdf")) {
+    std::fprintf(stderr, "error: failed to write fig3_ccdf report files\n");
+    return 1;
+  }
+  std::printf(
+      "\n[%zu jobs on %zu threads in %.2fs — grid in fig3_ccdf.{csv,jsonl}, "
+      "CCDF series in fig3_ccdf.dist.{csv,jsonl}]\n",
+      campaign.results.size(), campaign.threads_used, campaign.wall_seconds);
   return 0;
 }

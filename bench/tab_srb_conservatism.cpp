@@ -1,80 +1,79 @@
 // Ablation E5: the cost of the SRB analysis' conservative reload
 // assumption (paper §III-B.2 explicitly leaves a more precise SRB analysis
 // for future work and illustrates the conservatism with the stream
-// a1 a2 b1 b2 a1 a2).
+// a1 a2 b1 b2 a1 a2), paired with the RW's exact one-way degraded-cache
+// analysis as the contrast.
 //
-// With every set of the cache fully faulty (the regime where the SRB
-// serves all fetches), the analysis bounds the misses of each executed
-// line reference by 1 unless it is SRB-always-hit (then 0). The simulator
-// gives the misses the hardware actually takes on the same path: fewer,
-// whenever the SRB happens to retain a line across an interleaving the
-// static analysis had to assume reloads it. The gap — plus a breakdown of
-// where the SRB's benefit comes from (intra-line spatial hits) — is what a
-// flow-sensitive SRB analysis could reclaim.
+// The campaign itself is declared in specs/srb_conservatism.json — this
+// binary is a thin wrapper that loads the spec (pass a path as argv[1] to
+// run a variant), executes its slack jobs on the thread pool
+// (PWCET_THREADS workers) and pivots the two regimes into the paper-style
+// tables. Running `pwcet run specs/srb_conservatism.json` produces the
+// byte-identical machine-readable report. The slack semantics live in
+// engine/runner.cpp (compute_slack).
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "cache/references.hpp"
-#include "core/pwcet_analyzer.hpp"
-#include "icache/srb_analysis.hpp"
-#include "sim/cache_sim.hpp"
-#include "sim/path.hpp"
+#include "engine/report.hpp"
+#include "engine/runner.hpp"
+#include "engine/spec_io.hpp"
 #include "support/table.hpp"
-#include "wcet/cost_model.hpp"
-#include "wcet/tree_engine.hpp"
-#include "workloads/malardalen.hpp"
 
-int main() {
-  using namespace pwcet;
-  const CacheConfig config = CacheConfig::paper_default();
+#ifndef PWCET_SPECS_DIR
+#define PWCET_SPECS_DIR "specs"
+#endif
+
+namespace {
+
+using namespace pwcet;
+
+double slack_pct(std::uint64_t bound, std::uint64_t sim) {
+  if (bound == 0) return 0.0;
+  return 100.0 * (static_cast<double>(bound) - static_cast<double>(sim)) /
+         static_cast<double>(bound);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string spec_path =
+      argc > 1 ? argv[1] : PWCET_SPECS_DIR "/srb_conservatism.json";
+
+  SpecDocument doc;
+  try {
+    doc = load_spec(spec_path);
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  const CampaignSpec& spec = doc.spec;
+  if (spec.kinds != std::vector<AnalysisKind>{AnalysisKind::kSlack} ||
+      spec.mechanisms.empty() ||
+      spec.mechanisms[0] != Mechanism::kSharedReliableBuffer) {
+    std::fprintf(stderr,
+                 "%s: these tables need kinds [\"slack\"] with \"SRB\" as "
+                 "the first mechanism; use `pwcet run` for other shapes\n",
+                 spec_path.c_str());
+    return 1;
+  }
+
+  RunnerOptions options;
+  options.threads = threads_from_env();
+  const CampaignResult campaign = run_campaign(spec, options);
 
   std::printf("E5 — SRB analysis conservatism (all sets fully faulty)\n\n");
   TextTable table({"benchmark", "fetches", "spatial-hits", "misses-sim",
                    "misses-static", "slack%"});
-
   double worst_slack = 0.0;
-  for (const std::string& name : workloads::names()) {
-    const Program program = workloads::build(name);
-    const auto refs = extract_references(program.cfg(), config);
-    const SrbHitMap static_hits = analyze_srb(program.cfg(), refs);
-
-    // Worst fault-free path (the path the pWCET bound is built around).
-    const auto cls = classify_fault_free(program.cfg(), refs, config);
-    const CostModel time_model =
-        build_time_cost_model(program.cfg(), refs, cls, config);
-    const auto path = tree_worst_path(program, time_model);
-
-    // All sets fully faulty: every fetch goes through the SRB.
-    FaultMap all_faulty(config.sets, config.ways);
-    for (SetIndex s = 0; s < config.sets; ++s)
-      for (std::uint32_t w = 0; w < config.ways; ++w)
-        all_faulty.set_faulty(s, w, true);
-
-    CacheSimulator sim(config, all_faulty,
-                       Mechanism::kSharedReliableBuffer);
-    std::uint64_t static_miss_bound = 0;  // 1 per executed non-AH reference
-    for (BlockId blk : path) {
-      const auto& block_refs = refs[size_t(blk)];
-      for (std::size_t i = 0; i < block_refs.size(); ++i) {
-        const LineRef& r = block_refs[i];
-        static_miss_bound += static_hits[size_t(blk)][i] ? 0 : 1;
-        for (std::uint32_t k = 0; k < r.fetches; ++k)
-          sim.fetch(r.line * config.line_bytes + 4 * k);
-      }
-    }
-    const SimStats& st = sim.stats();
-    const double slack =
-        static_miss_bound == 0
-            ? 0.0
-            : 100.0 *
-                  (static_cast<double>(static_miss_bound) -
-                   static_cast<double>(st.misses)) /
-                  static_cast<double>(static_miss_bound);
+  for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
+    const JobResult& r = campaign.at(t, 0, 0, 0);
+    const double slack = slack_pct(r.bound_misses, r.sim_misses);
     worst_slack = std::max(worst_slack, slack);
-    table.add_row({name, std::to_string(st.fetches),
-                   std::to_string(st.srb_hits),
-                   std::to_string(st.misses),
-                   std::to_string(static_miss_bound),
-                   fmt_double(slack, 1)});
+    table.add_row({spec.tasks[t], std::to_string(r.fetches),
+                   std::to_string(r.srb_hits), std::to_string(r.sim_misses),
+                   std::to_string(r.bound_misses), fmt_double(slack, 1)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
@@ -91,49 +90,14 @@ int main() {
   // the analysis must still assume a reload. This is where the paper's
   // conservatism actually bites.
   std::printf("single fully faulty set (set 0): misses charged to set 0\n\n");
-  TextTable single({"benchmark", "set0-refs", "misses-sim", "misses-static",
-                    "slack%"});
+  TextTable single({"benchmark", "misses-sim", "misses-static", "slack%"});
   double worst_single = 0.0;
-  for (const std::string& name : workloads::names()) {
-    const Program program = workloads::build(name);
-    const auto refs = extract_references(program.cfg(), config);
-    const SrbHitMap static_hits = analyze_srb(program.cfg(), refs);
-    const auto cls = classify_fault_free(program.cfg(), refs, config);
-    const CostModel time_model =
-        build_time_cost_model(program.cfg(), refs, cls, config);
-    const auto path = tree_worst_path(program, time_model);
-
-    FaultMap one_set(config.sets, config.ways);
-    for (std::uint32_t w = 0; w < config.ways; ++w)
-      one_set.set_faulty(0, w, true);
-
-    CacheSimulator sim(config, one_set, Mechanism::kSharedReliableBuffer);
-    std::uint64_t set0_refs = 0;
-    std::uint64_t static_bound = 0;
-    for (BlockId blk : path) {
-      const auto& block_refs = refs[size_t(blk)];
-      for (std::size_t i = 0; i < block_refs.size(); ++i) {
-        const LineRef& r = block_refs[i];
-        if (r.set == 0) {
-          ++set0_refs;
-          static_bound += static_hits[size_t(blk)][i] ? 0 : 1;
-        }
-        for (std::uint32_t k = 0; k < r.fetches; ++k)
-          sim.fetch(r.line * config.line_bytes + 4 * k);
-      }
-    }
-    const std::uint64_t sim_misses = sim.stats().misses_per_set[0];
-    const double slack =
-        static_bound == 0
-            ? 0.0
-            : 100.0 *
-                  (static_cast<double>(static_bound) -
-                   static_cast<double>(sim_misses)) /
-                  static_cast<double>(static_bound);
+  for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
+    const JobResult& r = campaign.at(t, 0, 0, 0);
+    const double slack = slack_pct(r.bound_misses_1, r.sim_misses_1);
     worst_single = std::max(worst_single, slack);
-    single.add_row({name, std::to_string(set0_refs),
-                    std::to_string(sim_misses),
-                    std::to_string(static_bound), fmt_double(slack, 1)});
+    single.add_row({spec.tasks[t], std::to_string(r.sim_misses_1),
+                    std::to_string(r.bound_misses_1), fmt_double(slack, 1)});
   }
   std::printf("%s\n", single.to_string().c_str());
   std::printf(
@@ -142,5 +106,36 @@ int main() {
       "misses never happen. A flow-sensitive SRB analysis (the paper's\n"
       "future work) could reclaim exactly this gap.\n",
       worst_single);
+
+  // The pairing: the same two regimes under the RW, whose static side is
+  // the exact must-analysis of the degraded one-way cache — the slack
+  // that remains is pure path/interleaving context, a floor for what any
+  // flow-insensitive analysis leaves on the table.
+  for (std::size_t m = 1; m < spec.mechanisms.size(); ++m) {
+    if (spec.mechanisms[m] != Mechanism::kReliableWay) continue;
+    std::printf("\nRW pairing (degraded sets keep the hardened way)\n\n");
+    TextTable rw_table({"benchmark", "sim-all", "static-all", "slack%",
+                        "sim-set0", "static-set0", "slack0%"});
+    for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
+      const JobResult& r = campaign.at(t, 0, 0, m);
+      rw_table.add_row(
+          {spec.tasks[t], std::to_string(r.sim_misses),
+           std::to_string(r.bound_misses),
+           fmt_double(slack_pct(r.bound_misses, r.sim_misses), 1),
+           std::to_string(r.sim_misses_1), std::to_string(r.bound_misses_1),
+           fmt_double(slack_pct(r.bound_misses_1, r.sim_misses_1), 1)});
+    }
+    std::printf("%s", rw_table.to_string().c_str());
+  }
+
+  if (!write_report_files(campaign, "tab_srb_conservatism")) {
+    std::fprintf(stderr,
+                 "error: failed to write tab_srb_conservatism.{csv,jsonl}\n");
+    return 1;
+  }
+  std::printf(
+      "\n[%zu jobs on %zu threads in %.2fs — full grid in "
+      "tab_srb_conservatism.{csv,jsonl}]\n",
+      campaign.results.size(), campaign.threads_used, campaign.wall_seconds);
   return 0;
 }

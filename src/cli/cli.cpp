@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -9,6 +10,7 @@
 #include <system_error>
 #include <vector>
 
+#include "engine/names.hpp"
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
 #include "engine/spec_io.hpp"
@@ -27,9 +29,12 @@ constexpr const char* kUsage =
     "      --store on|off    content-addressed analysis store (default on)\n"
     "      --cache-dir DIR   enable the on-disk artifact tier under DIR\n"
     "      --format FMT      stdout report format: csv (default), jsonl,\n"
-    "                        table\n"
-    "      --output BASE     write BASE.csv and BASE.jsonl instead of\n"
-    "                        printing the report\n"
+    "                        table; dist-csv, dist-jsonl, dist-table print\n"
+    "                        the distribution sink (specs with\n"
+    "                        ccdf_exceedances) instead\n"
+    "      --output BASE     write BASE.csv and BASE.jsonl (plus\n"
+    "                        BASE.dist.{csv,jsonl} for distribution\n"
+    "                        campaigns) instead of printing the report\n"
     "  describe <spec.json>  print the expanded job grid without running\n"
     "  list                  built-in tasks, mechanisms, engines, kinds\n"
     "  cache stats|clear     inspect or empty an artifact cache directory\n"
@@ -117,9 +122,11 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
       options.store.artifact_dir = flag.value;
     } else if (flag.name == "--format") {
       if (flag.value != "csv" && flag.value != "jsonl" &&
-          flag.value != "table") {
-        err << "pwcet: --format wants csv|jsonl|table, got '" << flag.value
-            << "'\n";
+          flag.value != "table" && flag.value != "dist-csv" &&
+          flag.value != "dist-jsonl" && flag.value != "dist-table") {
+        err << "pwcet: --format wants csv|jsonl|table|dist-csv|dist-jsonl|"
+               "dist-table, got '"
+            << flag.value << "'\n";
         return 2;
       }
       format = flag.value;
@@ -162,6 +169,11 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   }
 
   const SpecDocument doc = load_spec(positionals[0]);
+  if (format.rfind("dist-", 0) == 0 && doc.spec.ccdf_exceedances.empty()) {
+    err << "pwcet: --format " << format << " needs a spec with "
+        << "\"ccdf_exceedances\" (this one has no distribution sink)\n";
+    return 1;
+  }
   const CampaignResult campaign = run_campaign(doc.spec, options);
 
   if (!output.empty()) {
@@ -173,8 +185,14 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
     out << report_csv(campaign);
   } else if (format == "jsonl") {
     out << report_jsonl(campaign);
-  } else {
+  } else if (format == "table") {
     out << report_table(campaign).to_string();
+  } else if (format == "dist-csv") {
+    out << report_dist_csv(campaign);
+  } else if (format == "dist-jsonl") {
+    out << report_dist_jsonl(campaign);
+  } else {
+    out << report_dist_table(campaign).to_string();
   }
 
   // Progress summary on stderr so stdout stays byte-clean for diffing.
@@ -187,8 +205,12 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
     err << "; disk: " << campaign.store_stats.disk_hits << " hits / "
         << campaign.store_stats.disk_writes << " writes";
   err << "]\n";
-  if (!output.empty())
-    err << "wrote " << output << ".csv and " << output << ".jsonl\n";
+  if (!output.empty()) {
+    err << "wrote " << output << ".csv and " << output << ".jsonl";
+    if (!doc.spec.ccdf_exceedances.empty())
+      err << " (+ " << output << ".dist.{csv,jsonl})";
+    err << "\n";
+  }
   return 0;
 }
 
@@ -220,17 +242,26 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
       << spec.geometries.size() << " geometries x " << spec.pfails.size()
       << " pfails x " << spec.mechanisms.size() << " mechanisms x "
       << spec.engines.size() << " engines x " << spec.kinds.size()
-      << " kinds = " << jobs.size() << " jobs\n";
+      << " kinds x " << spec.dcaches.size() << " dcaches x "
+      << spec.dcache_mechanisms.size() << " dmechs x "
+      << spec.sample_counts.size() << " samples = " << jobs.size()
+      << " jobs\n";
   out << "target exceedance: " << fmt_prob(spec.target_exceedance) << "\n";
+  if (!spec.ccdf_exceedances.empty())
+    out << "distribution sink: " << spec.ccdf_exceedances.size()
+        << " exceedance points per job\n";
   out << "spec key: " << campaign_spec_key(spec).hex() << "\n\n";
 
-  TextTable table({"#", "task", "geometry", "pfail", "mech", "engine", "kind",
-                   "seed"});
+  TextTable table({"#", "task", "geometry", "dcache", "pfail", "mech",
+                   "dmech", "engine", "kind", "samples", "seed"});
   for (const CampaignJob& job : jobs)
-    table.add_row({std::to_string(job.index), job.task,
-                   geometry_label(job.geometry), fmt_prob(job.pfail),
-                   mechanism_name(job.mechanism), engine_name(job.engine),
-                   analysis_kind_name(job.kind), std::to_string(job.seed)});
+    table.add_row(
+        {std::to_string(job.index), job.task, geometry_label(job.geometry),
+         job.dcache.enabled ? geometry_label(job.dcache.geometry) : "-",
+         fmt_prob(job.pfail), mechanism_name(job.mechanism),
+         job.dcache.enabled ? dcache_mechanism_name(job.dmech) : "-",
+         engine_name(job.engine), analysis_kind_name(job.kind),
+         std::to_string(job.samples), std::to_string(job.seed)});
   out << table.to_string();
   return 0;
 }
@@ -243,20 +274,29 @@ int cmd_list(const std::vector<std::string>& args, std::ostream& out,
     err << "pwcet: list takes no arguments\n";
     return 2;
   }
+  // Axis values and their one-liners come from the single name registry
+  // (engine/names.hpp) — the same tables the spec loader parses against.
+  const auto section = [&out](const char* title, const auto& names) {
+    std::size_t width = 0;
+    for (const auto& entry : names)
+      width = std::max(width, std::string(entry.name).size());
+    out << "\n" << title << ":\n";
+    for (const auto& entry : names) {
+      out << "  " << entry.name
+          << std::string(width - std::string(entry.name).size() + 2, ' ')
+          << entry.description << "\n";
+    }
+  };
   out << "tasks (Malardalen-style structural counterparts):\n";
   for (const std::string& name : workloads::names()) out << "  " << name
                                                          << "\n";
-  out << "\nmechanisms:\n"
-      << "  none  unprotected cache (baseline)\n"
-      << "  RW    reliable way: way 0 of every set is hardened\n"
-      << "  SRB   shared reliable buffer: one hardened line-sized buffer\n"
-      << "\nengines:\n"
-      << "  ilp   IPET via the shared simplex (paper-faithful LP bound)\n"
-      << "  tree  structural loop-tree engine (exact on structured CFGs)\n"
-      << "\nkinds:\n"
-      << "  spta  static probabilistic timing analysis (the paper)\n"
-      << "  mbpta measurement-based EVT estimate over a chip population\n"
-      << "  sim   Monte-Carlo fault injection on the heavy path\n";
+  out << "\ntasks (extension kernels, data-cache study):\n";
+  for (const std::string& name : workloads::extension_names())
+    out << "  " << name << "\n";
+  section("mechanisms", mechanism_names());
+  section("dcache mechanisms", dcache_mechanism_names());
+  section("engines", engine_names());
+  section("kinds", analysis_kind_names());
   return 0;
 }
 

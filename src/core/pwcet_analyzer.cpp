@@ -22,16 +22,69 @@ struct AnalyzerCore {
 
 }  // namespace
 
+StoreKey pwcet_core_key(const Program& program, const CacheConfig& config,
+                        WcetEngine engine) {
+  return KeyHasher("pwcet-core-v1")
+      .mix_key(hash_program(program))
+      .mix_key(hash_cache_config(config))
+      .mix_u64(static_cast<std::uint64_t>(engine))
+      .finish();
+}
+
+DiscreteDistribution build_penalty_distribution(
+    const FaultMissMap& fmm, const CacheConfig& config,
+    const std::vector<Probability>& pwf, std::size_t max_points,
+    ThreadPool* pool, AnalysisStore* store) {
+  // Per-set penalty distribution: one atom per possible fault count
+  // (paper Fig. 1.b), value = miss_penalty * FMM[s][f].
+  auto build_set_cold = [&](std::size_t s) {
+    std::vector<ProbabilityAtom> atoms;
+    atoms.reserve(pwf.size());
+    for (std::size_t f = 0; f < pwf.size(); ++f) {
+      const double misses = fmm.at(static_cast<SetIndex>(s),
+                                   static_cast<std::uint32_t>(f));
+      const auto penalty = static_cast<Cycles>(
+          std::ceil(misses - 1e-6) * static_cast<double>(config.miss_penalty));
+      atoms.push_back({penalty, pwf[f]});
+    }
+    return DiscreteDistribution::from_atoms(std::move(atoms));
+  };
+
+  // Per-set layer: keyed by the *content* the atoms are built from (FMM
+  // row, pwf, miss penalty), not by set index or task — so the many sets
+  // that share a row (untouched sets, symmetric layouts) build it once,
+  // across mechanisms, geometries with equal rows, caches and analyzers.
+  auto build_set = [&](std::size_t s) {
+    if (store == nullptr) return build_set_cold(s);
+    const StoreKey key = KeyHasher("set-penalty-v1")
+                             .mix_i64(config.miss_penalty)
+                             .mix_doubles(pwf)
+                             .mix_doubles(fmm.misses[s])
+                             .finish();
+    return *store->memo().get_or_compute<DiscreteDistribution>(
+        key, [&] { return build_set_cold(s); });
+  };
+
+  // Sets are independent (Fig. 1.b): combine by convolution, pairwise so
+  // the rounds parallelize and the coalescing error stacks O(log S) deep
+  // instead of O(S). Pooled and serial paths produce identical bits.
+  std::vector<DiscreteDistribution> per_set;
+  if (pool != nullptr) {
+    per_set = pool->map_indexed(config.sets, build_set);
+  } else {
+    per_set.reserve(config.sets);
+    for (SetIndex s = 0; s < config.sets; ++s)
+      per_set.push_back(build_set(s));
+  }
+  return convolve_all_tree(per_set, max_points, pool);
+}
+
 PwcetAnalyzer::PwcetAnalyzer(const Program& program,
                              const CacheConfig& config,
                              const PwcetOptions& options)
     : program_(program), config_(config), options_(options) {
   config_.validate();
-  core_key_ = KeyHasher("pwcet-core-v1")
-                  .mix_key(hash_program(program))
-                  .mix_key(hash_cache_config(config_))
-                  .mix_u64(static_cast<std::uint64_t>(options_.engine))
-                  .finish();
+  core_key_ = pwcet_core_key(program, config_, options_.engine);
 
   // Everything below lives inside the compute path on purpose: on a core
   // memo hit the constructor does no analysis work at all — not even the
@@ -115,49 +168,10 @@ PwcetResult PwcetAnalyzer::analyze(const FaultModel& faults,
     }
   }
 
-  // Per-set penalty distribution: one atom per possible fault count
-  // (paper Fig. 1.b), value = miss_penalty * FMM[s][f].
-  auto build_set_cold = [&](std::size_t s) {
-    std::vector<ProbabilityAtom> atoms;
-    atoms.reserve(pwf.size());
-    for (std::size_t f = 0; f < pwf.size(); ++f) {
-      const double misses = fmm.at(static_cast<SetIndex>(s),
-                                   static_cast<std::uint32_t>(f));
-      const auto penalty = static_cast<Cycles>(
-          std::ceil(misses - 1e-6) * static_cast<double>(config_.miss_penalty));
-      atoms.push_back({penalty, pwf[f]});
-    }
-    return DiscreteDistribution::from_atoms(std::move(atoms));
-  };
-
-  // Per-set layer: keyed by the *content* the atoms are built from (FMM
-  // row, pwf, miss penalty), not by set index or task — so the many sets
-  // that share a row (untouched sets, symmetric layouts) build it once,
-  // across mechanisms, geometries with equal rows, and analyzers.
-  auto build_set = [&](std::size_t s) {
-    if (store == nullptr) return build_set_cold(s);
-    const StoreKey key = KeyHasher("set-penalty-v1")
-                             .mix_i64(config_.miss_penalty)
-                             .mix_doubles(pwf)
-                             .mix_doubles(fmm.misses[s])
-                             .finish();
-    return *store->memo().get_or_compute<DiscreteDistribution>(
-        key, [&] { return build_set_cold(s); });
-  };
-
-  // Sets are independent (Fig. 1.b): combine by convolution, pairwise so
-  // the rounds parallelize and the coalescing error stacks O(log S) deep
-  // instead of O(S). Pooled and serial paths produce identical bits.
-  std::vector<DiscreteDistribution> per_set;
-  if (options_.pool != nullptr) {
-    per_set = options_.pool->map_indexed(config_.sets, build_set);
-  } else {
-    per_set.reserve(config_.sets);
-    for (SetIndex s = 0; s < config_.sets; ++s)
-      per_set.push_back(build_set(s));
-  }
-  result.penalty = convolve_all_tree(
-      per_set, options_.max_distribution_points, options_.pool);
+  result.penalty =
+      build_penalty_distribution(fmm, config_, pwf,
+                                 options_.max_distribution_points,
+                                 options_.pool, store);
 
   if (store != nullptr) {
     if (store->artifacts() != nullptr)

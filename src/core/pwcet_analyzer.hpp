@@ -91,6 +91,28 @@ struct PwcetResult {
   std::vector<CcdfPoint> ccdf() const;
 };
 
+/// Store key of a single-cache analyzer core: program content x cache
+/// config x engine. Defined here (not inline in the constructor) because
+/// the combined I+D analyzer (dcache/dcache_analysis.hpp) derives its
+/// icache FMM-row prefix from the *same* recipe so the two analyzer
+/// flavours share memoized rows — one definition, no silent drift.
+StoreKey pwcet_core_key(const Program& program, const CacheConfig& config,
+                        WcetEngine engine);
+
+/// Per-set penalty-distribution pipeline shared by the single-cache
+/// analyzer below and the combined I+D analyzer
+/// (dcache/dcache_analysis.hpp): builds one distribution per set (atom
+/// value = miss_penalty * ceil(FMM[s][f]), probability pwf[f]) and
+/// combines the independent sets with the fixed-shape pairwise convolution
+/// tree. With a store, each set's distribution is memoized under a content
+/// key (FMM row, pwf, miss penalty) so identical rows share across sets,
+/// mechanisms, caches and even tasks. Deterministic: identical bits at any
+/// thread count, store on or off.
+DiscreteDistribution build_penalty_distribution(
+    const FaultMissMap& fmm, const CacheConfig& config,
+    const std::vector<Probability>& pwf, std::size_t max_points,
+    ThreadPool* pool, AnalysisStore* store);
+
 /// Analyzer bound to one (program, cache) pair. The expensive shared work
 /// (reference extraction, fault-free classification, IPET phase 1, FMM
 /// bundle) is done once and reused across mechanisms and pfail values.

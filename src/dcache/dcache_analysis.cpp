@@ -1,7 +1,10 @@
 #include "dcache/dcache_analysis.hpp"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
+#include "store/analysis_store.hpp"
 #include "support/contracts.hpp"
 #include "wcet/cost_model.hpp"
 #include "wcet/ipet.hpp"
@@ -51,6 +54,15 @@ CostModel sum_models(const CostModel& a, const CostModel& b) {
   return out;
 }
 
+/// Memo value of the combined analyzer-core layer. Cached all-or-nothing
+/// for the same reason as the single-cache core: the ILP engine's shared
+/// simplex must see the exact same maximize() sequence on every miss.
+struct CombinedCore {
+  Cycles fault_free_wcet = 0;
+  FmmBundle ifmm;
+  FmmBundle dfmm;
+};
+
 }  // namespace
 
 ReferenceMap extract_data_references(const ControlFlowGraph& cfg,
@@ -85,52 +97,77 @@ CombinedPwcetAnalyzer::CombinedPwcetAnalyzer(const Program& program,
       options_(options) {
   icache_.validate();
   dcache_.validate();
-  irefs_ = extract_references(program.cfg(), icache_);
-  drefs_ = extract_data_references(program.cfg(), dcache_);
+  core_key_ = KeyHasher("pwcet-dcore-v1")
+                  .mix_key(hash_program(program))
+                  .mix_key(hash_cache_config(icache_))
+                  .mix_key(hash_cache_config(dcache_))
+                  .mix_u64(static_cast<std::uint64_t>(options_.engine))
+                  .finish();
 
-  const ClassificationMap icls =
-      classify_fault_free(program.cfg(), irefs_, icache_);
-  const ClassificationMap dcls =
-      classify_fault_free(program.cfg(), drefs_, dcache_);
-  const CostModel combined = sum_models(
-      build_time_cost_model(program.cfg(), irefs_, icls, icache_),
-      build_data_time_cost_model(program.cfg(), drefs_, dcls, dcache_));
+  // As in the single-cache analyzer, everything expensive lives inside the
+  // compute path: on a core memo hit the constructor does no analysis work
+  // beyond the structural hash above.
+  auto compute_core = [&] {
+    const ReferenceMap irefs = extract_references(program.cfg(), icache_);
+    const ReferenceMap drefs = extract_data_references(program.cfg(), dcache_);
 
-  std::unique_ptr<IpetCalculator> ipet;
-  double wcet = 0.0;
-  if (options_.engine == WcetEngine::kIlp) {
-    ipet = std::make_unique<IpetCalculator>(program_);
-    wcet = ipet->maximize(combined).objective;
-  } else {
-    wcet = tree_maximize(program_, combined);
-  }
-  fault_free_wcet_ = static_cast<Cycles>(std::ceil(wcet - 1e-6));
+    const ClassificationMap icls =
+        classify_fault_free(program.cfg(), irefs, icache_);
+    const ClassificationMap dcls =
+        classify_fault_free(program.cfg(), drefs, dcache_);
+    const CostModel combined = sum_models(
+        build_time_cost_model(program.cfg(), irefs, icls, icache_),
+        build_data_time_cost_model(program.cfg(), drefs, dcls, dcache_));
 
-  ifmm_ = compute_fmm_bundle(program_, icache_, irefs_, options_.engine,
-                             ipet.get());
-  dfmm_ = compute_fmm_bundle(program_, dcache_, drefs_, options_.engine,
-                             ipet.get());
-}
-
-DiscreteDistribution CombinedPwcetAnalyzer::penalty_of(
-    const FmmBundle& fmm, const CacheConfig& config, const FaultModel& faults,
-    Mechanism mechanism) const {
-  const std::vector<Probability> pwf =
-      faults.way_failure_pmf(config, mechanism);
-  std::vector<DiscreteDistribution> per_set;
-  per_set.reserve(config.sets);
-  for (SetIndex s = 0; s < config.sets; ++s) {
-    std::vector<ProbabilityAtom> atoms;
-    for (std::size_t f = 0; f < pwf.size(); ++f) {
-      const double misses =
-          fmm.of(mechanism).at(s, static_cast<std::uint32_t>(f));
-      atoms.push_back({static_cast<Cycles>(std::ceil(misses - 1e-6)) *
-                           config.miss_penalty,
-                       pwf[f]});
+    std::unique_ptr<IpetCalculator> ipet;
+    double wcet = 0.0;
+    if (options_.engine == WcetEngine::kIlp) {
+      ipet = std::make_unique<IpetCalculator>(program_);
+      wcet = ipet->maximize(combined).objective;
+    } else {
+      wcet = tree_maximize(program_, combined);
     }
-    per_set.push_back(DiscreteDistribution::from_atoms(std::move(atoms)));
+
+    CombinedCore core;
+    // The time model is integral; ceil absorbs LP round-off soundly.
+    core.fault_free_wcet = static_cast<Cycles>(std::ceil(wcet - 1e-6));
+
+    // The icache rows are computed from the same reference map, config and
+    // engine a plain PwcetAnalyzer of this program would use, so their row
+    // prefix is the plain analyzer's core key and the two analyzer
+    // flavours share memoized rows. The dcache rows get a distinct domain:
+    // a data reference map must never alias an instruction one even when
+    // the two cache configs coincide.
+    const StoreKey irow_prefix =
+        pwcet_core_key(program, icache_, options_.engine);
+    const StoreKey drow_prefix =
+        KeyHasher("pwcet-dcache-rows-v1")
+            .mix_key(hash_program(program))
+            .mix_key(hash_cache_config(dcache_))
+            .mix_u64(static_cast<std::uint64_t>(options_.engine))
+            .finish();
+    core.ifmm = compute_fmm_bundle(program_, icache_, irefs, options_.engine,
+                                   ipet.get(), options_.pool, options_.store,
+                                   &irow_prefix);
+    core.dfmm = compute_fmm_bundle(program_, dcache_, drefs, options_.engine,
+                                   ipet.get(), options_.pool, options_.store,
+                                   &drow_prefix);
+    return core;
+  };
+
+  if (options_.store != nullptr) {
+    const std::shared_ptr<const CombinedCore> core =
+        options_.store->memo().get_or_compute<CombinedCore>(core_key_,
+                                                            compute_core);
+    fault_free_wcet_ = core->fault_free_wcet;
+    ifmm_ = core->ifmm;
+    dfmm_ = core->dfmm;
+  } else {
+    CombinedCore core = compute_core();
+    fault_free_wcet_ = core.fault_free_wcet;
+    ifmm_ = std::move(core.ifmm);
+    dfmm_ = std::move(core.dfmm);
   }
-  return convolve_all(per_set, options_.max_distribution_points);
 }
 
 PwcetResult CombinedPwcetAnalyzer::analyze(const FaultModel& faults,
@@ -141,19 +178,62 @@ PwcetResult CombinedPwcetAnalyzer::analyze(const FaultModel& faults,
 PwcetResult CombinedPwcetAnalyzer::analyze_mixed(const FaultModel& faults,
                                                  Mechanism icache_mech,
                                                  Mechanism dcache_mech) const {
-  // The two caches are physically disjoint SRAM arrays: their fault counts
-  // are independent, so the combined penalty is the convolution.
-  const DiscreteDistribution ipenalty =
-      penalty_of(ifmm_, icache_, faults, icache_mech);
-  const DiscreteDistribution dpenalty =
-      penalty_of(dfmm_, dcache_, faults, dcache_mech);
+  AnalysisStore* store = options_.store;
+
+  // Whole-analysis layer: one key per (core, imech, dmech, pfail,
+  // coalescing budget) — everything this function reads.
+  StoreKey result_key;
+  if (store != nullptr) {
+    result_key = KeyHasher("pwcet-dresult-v1")
+                     .mix_key(core_key_)
+                     .mix_u64(static_cast<std::uint64_t>(icache_mech))
+                     .mix_u64(static_cast<std::uint64_t>(dcache_mech))
+                     .mix_double(faults.pfail())
+                     .mix_u64(options_.max_distribution_points)
+                     .finish();
+    if (const std::shared_ptr<const void> hit =
+            store->memo().get(result_key))
+      return *std::static_pointer_cast<const PwcetResult>(hit);
+  }
 
   PwcetResult result;
   result.mechanism = icache_mech;
   result.fault_free_wcet = fault_free_wcet_;
   result.fmm = ifmm_.of(icache_mech);
+
+  // Artifact tier: the combined penalty distribution may survive from an
+  // earlier process.
+  if (store != nullptr && store->artifacts() != nullptr) {
+    if (std::optional<DiscreteDistribution> penalty =
+            store->artifacts()->load_distribution(result_key)) {
+      result.penalty = *std::move(penalty);
+      store->memo().put(result_key,
+                        std::make_shared<const PwcetResult>(result));
+      return result;
+    }
+  }
+
+  // The two caches are physically disjoint SRAM arrays: their fault counts
+  // are independent, so the combined penalty is the convolution. Each
+  // cache's penalty runs through the shared per-set pipeline (content-
+  // addressed set distributions, fixed-shape convolution tree).
+  const DiscreteDistribution ipenalty = build_penalty_distribution(
+      ifmm_.of(icache_mech), icache_,
+      faults.way_failure_pmf(icache_, icache_mech),
+      options_.max_distribution_points, options_.pool, store);
+  const DiscreteDistribution dpenalty = build_penalty_distribution(
+      dfmm_.of(dcache_mech), dcache_,
+      faults.way_failure_pmf(dcache_, dcache_mech),
+      options_.max_distribution_points, options_.pool, store);
   result.penalty = ipenalty.convolve(dpenalty)
                        .coalesce_up(options_.max_distribution_points);
+
+  if (store != nullptr) {
+    if (store->artifacts() != nullptr)
+      store->artifacts()->store_distribution(result_key, result.penalty);
+    store->memo().put(result_key,
+                      std::make_shared<const PwcetResult>(result));
+  }
   return result;
 }
 

@@ -16,6 +16,18 @@
 // combined penalty is the convolution of the two penalty distributions and
 // the combined fault-free WCET is a single IPET/tree maximization over the
 // summed cost models.
+//
+// Like the single-cache analyzer, the combined analyzer participates in
+// the campaign engine's memoized group flow (PwcetOptions.store): the
+// expensive core (fault-free WCET + both FMM bundles) is cached
+// all-or-nothing under a combined core key, the icache FMM rows share the
+// exact row keys a plain PwcetAnalyzer of the same (program, icache,
+// engine) would use, the dcache rows get their own domain (a data
+// reference map must never alias an instruction one), per-set penalty
+// distributions share the content-addressed "set-penalty" layer across
+// both caches, and whole per-(imech, dmech, pfail) results are memoized
+// and disk-persisted. Per-set work fans out on PwcetOptions.pool. Results
+// are byte-identical at any thread count, store on/off, cold or warm.
 #pragma once
 
 #include <optional>
@@ -61,21 +73,19 @@ class CombinedPwcetAnalyzer {
   const FmmBundle& icache_fmm() const { return ifmm_; }
   const FmmBundle& dcache_fmm() const { return dfmm_; }
 
- private:
-  DiscreteDistribution penalty_of(const FmmBundle& fmm,
-                                  const CacheConfig& config,
-                                  const FaultModel& faults,
-                                  Mechanism mechanism) const;
+  /// Store key of the combined analyzer core: program content x both cache
+  /// configs x engine — the prefix every per-result key chains from.
+  const StoreKey& core_key() const { return core_key_; }
 
+ private:
   const Program& program_;
   CacheConfig icache_;
   CacheConfig dcache_;
   PwcetOptions options_;
-  ReferenceMap irefs_;
-  ReferenceMap drefs_;
   Cycles fault_free_wcet_ = 0;
   FmmBundle ifmm_;
   FmmBundle dfmm_;
+  StoreKey core_key_;
 };
 
 }  // namespace pwcet

@@ -1,5 +1,6 @@
 #include "engine/campaign.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 
@@ -29,22 +30,24 @@ std::uint64_t hash_geometry(const CacheConfig& g) {
   return h;
 }
 
-}  // namespace
-
-std::string analysis_kind_name(AnalysisKind kind) {
-  switch (kind) {
-    case AnalysisKind::kSpta:
-      return "spta";
-    case AnalysisKind::kMbpta:
-      return "mbpta";
-    case AnalysisKind::kSimulation:
-      return "sim";
-  }
-  return "?";
+bool contains(const std::vector<AnalysisKind>& kinds, AnalysisKind kind) {
+  return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
 }
 
-std::string engine_name(WcetEngine engine) {
-  return engine == WcetEngine::kIlp ? "ilp" : "tree";
+}  // namespace
+
+Mechanism CampaignJob::resolved_dmech() const {
+  switch (dmech) {
+    case DcacheMechanism::kSame:
+      return mechanism;
+    case DcacheMechanism::kNone:
+      return Mechanism::kNone;
+    case DcacheMechanism::kReliableWay:
+      return Mechanism::kReliableWay;
+    case DcacheMechanism::kSharedReliableBuffer:
+      return Mechanism::kSharedReliableBuffer;
+  }
+  return mechanism;
 }
 
 void CampaignSpec::validate() const {
@@ -54,16 +57,37 @@ void CampaignSpec::validate() const {
   PWCET_EXPECTS(!mechanisms.empty());
   PWCET_EXPECTS(!engines.empty());
   PWCET_EXPECTS(!kinds.empty());
+  PWCET_EXPECTS(!dcaches.empty());
+  PWCET_EXPECTS(!dcache_mechanisms.empty());
+  PWCET_EXPECTS(!sample_counts.empty());
   PWCET_EXPECTS(target_exceedance > 0.0 && target_exceedance <= 1.0);
   PWCET_EXPECTS(max_distribution_points >= 2);
   for (const CacheConfig& g : geometries) g.validate();
   for (const Probability p : pfails) PWCET_EXPECTS(p >= 0.0 && p <= 1.0);
+  for (const Probability p : ccdf_exceedances)
+    PWCET_EXPECTS(p > 0.0 && p <= 1.0);
+  bool any_dcache = false;
+  for (const DcacheAxis& d : dcaches) {
+    if (d.enabled) d.geometry.validate();
+    any_dcache |= d.enabled;
+  }
   for (const AnalysisKind kind : kinds) {
-    if (kind == AnalysisKind::kMbpta)
+    if (kind == AnalysisKind::kMbpta) {
       PWCET_EXPECTS(mbpta.chips >= 2 * mbpta.block_size);
+      for (const std::size_t n : sample_counts)
+        PWCET_EXPECTS(n == 0 || n >= 2 * mbpta.block_size);
+    }
     if (kind == AnalysisKind::kSimulation)
       PWCET_EXPECTS(simulation_chips > 0);
+    // The MBPTA protocol, the fault-injection simulator and the slack
+    // oracle model the instruction cache only; a combined I+D analysis
+    // exists only for the SPTA pipeline (dcache/dcache_analysis.hpp).
+    if (kind != AnalysisKind::kSpta) PWCET_EXPECTS(!any_dcache);
   }
+  if (contains(kinds, AnalysisKind::kSlack))
+    // Conservatism is measured against a reliability mechanism's static
+    // bound; the unprotected cache has no such bound to compare.
+    for (const Mechanism m : mechanisms) PWCET_EXPECTS(m != Mechanism::kNone);
 }
 
 std::string CampaignJob::id() const {
@@ -73,7 +97,18 @@ std::string CampaignJob::id() const {
                 mechanism_name(mechanism).c_str(),
                 engine_name(engine).c_str(),
                 analysis_kind_name(kind).c_str());
-  return buf;
+  std::string out = buf;
+  if (dcache.enabled) {
+    std::snprintf(buf, sizeof buf, "/D%ux%ux%uB/%s", dcache.geometry.sets,
+                  dcache.geometry.ways, dcache.geometry.line_bytes,
+                  dcache_mechanism_name(dmech).c_str());
+    out += buf;
+  }
+  if (samples != 0) {
+    std::snprintf(buf, sizeof buf, "/n%zu", samples);
+    out += buf;
+  }
+  return out;
 }
 
 std::uint64_t campaign_job_seed(const CampaignSpec& spec,
@@ -88,6 +123,20 @@ std::uint64_t campaign_job_seed(const CampaignSpec& spec,
   seed = Rng::derive_seed(seed, static_cast<std::uint64_t>(job.mechanism));
   seed = Rng::derive_seed(seed, static_cast<std::uint64_t>(job.engine));
   seed = Rng::derive_seed(seed, static_cast<std::uint64_t>(job.kind));
+  // The extension axes join the chain only when they are meaningful for
+  // the cell — mirroring id()'s suffix rule — so (a) campaigns predating
+  // these axes keep their published seeds (their default-valued cells
+  // derive through the exact historic chain), and (b) cells differing
+  // only in an *ignored* axis value (a dcache mechanism without a data
+  // cache, or two pairings resolving to the same mechanism) cannot carry
+  // different seeds for identical computations.
+  if (job.dcache.enabled) {
+    seed = Rng::derive_seed(seed, hash_geometry(job.dcache.geometry));
+    seed = Rng::derive_seed(seed,
+                            static_cast<std::uint64_t>(job.resolved_dmech()));
+  }
+  if (job.samples != 0)
+    seed = Rng::derive_seed(seed, static_cast<std::uint64_t>(job.samples));
   return seed;
 }
 
@@ -100,24 +149,35 @@ std::vector<CampaignJob> expand_campaign(const CampaignSpec& spec) {
       for (std::size_t p = 0; p < spec.pfails.size(); ++p)
         for (std::size_t m = 0; m < spec.mechanisms.size(); ++m)
           for (std::size_t e = 0; e < spec.engines.size(); ++e)
-            for (std::size_t k = 0; k < spec.kinds.size(); ++k) {
-              CampaignJob job;
-              job.index = jobs.size();
-              job.task_i = t;
-              job.geometry_i = g;
-              job.pfail_i = p;
-              job.mechanism_i = m;
-              job.engine_i = e;
-              job.kind_i = k;
-              job.task = spec.tasks[t];
-              job.geometry = spec.geometries[g];
-              job.pfail = spec.pfails[p];
-              job.mechanism = spec.mechanisms[m];
-              job.engine = spec.engines[e];
-              job.kind = spec.kinds[k];
-              job.seed = campaign_job_seed(spec, job);
-              jobs.push_back(std::move(job));
-            }
+            for (std::size_t k = 0; k < spec.kinds.size(); ++k)
+              for (std::size_t d = 0; d < spec.dcaches.size(); ++d)
+                for (std::size_t dm = 0; dm < spec.dcache_mechanisms.size();
+                     ++dm)
+                  for (std::size_t n = 0; n < spec.sample_counts.size();
+                       ++n) {
+                    CampaignJob job;
+                    job.index = jobs.size();
+                    job.task_i = t;
+                    job.geometry_i = g;
+                    job.pfail_i = p;
+                    job.mechanism_i = m;
+                    job.engine_i = e;
+                    job.kind_i = k;
+                    job.dcache_i = d;
+                    job.dmech_i = dm;
+                    job.samples_i = n;
+                    job.task = spec.tasks[t];
+                    job.geometry = spec.geometries[g];
+                    job.pfail = spec.pfails[p];
+                    job.mechanism = spec.mechanisms[m];
+                    job.engine = spec.engines[e];
+                    job.kind = spec.kinds[k];
+                    job.dcache = spec.dcaches[d];
+                    job.dmech = spec.dcache_mechanisms[dm];
+                    job.samples = spec.sample_counts[n];
+                    job.seed = campaign_job_seed(spec, job);
+                    jobs.push_back(std::move(job));
+                  }
   return jobs;
 }
 
@@ -126,6 +186,9 @@ StoreKey campaign_group_key(const CampaignJob& job) {
       .mix_string(job.task)
       .mix_key(hash_cache_config(job.geometry))
       .mix_u64(static_cast<std::uint64_t>(job.engine))
+      .mix_u64(job.dcache.enabled ? 1 : 0)
+      .mix_key(job.dcache.enabled ? hash_cache_config(job.dcache.geometry)
+                                  : StoreKey{})
       .finish();
 }
 
@@ -153,7 +216,18 @@ StoreKey campaign_spec_key(const CampaignSpec& spec) {
   h.mix_u64(spec.kinds.size());
   for (const AnalysisKind k : spec.kinds)
     h.mix_u64(static_cast<std::uint64_t>(k));
+  h.mix_u64(spec.dcaches.size());
+  for (const DcacheAxis& d : spec.dcaches) {
+    h.mix_u64(d.enabled ? 1 : 0);
+    h.mix_key(d.enabled ? hash_cache_config(d.geometry) : StoreKey{});
+  }
+  h.mix_u64(spec.dcache_mechanisms.size());
+  for (const DcacheMechanism m : spec.dcache_mechanisms)
+    h.mix_u64(static_cast<std::uint64_t>(m));
+  h.mix_u64(spec.sample_counts.size());
+  for (const std::size_t n : spec.sample_counts) h.mix_u64(n);
   h.mix_double(spec.target_exceedance);
+  h.mix_doubles(spec.ccdf_exceedances);
   h.mix_u64(spec.max_distribution_points);
   h.mix_u64(spec.mbpta.chips);
   h.mix_u64(spec.mbpta.block_size);
@@ -166,19 +240,26 @@ StoreKey campaign_spec_key(const CampaignSpec& spec) {
 std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
                                std::size_t geometry_i, std::size_t pfail_i,
                                std::size_t mechanism_i, std::size_t engine_i,
-                               std::size_t kind_i) {
+                               std::size_t kind_i, std::size_t dcache_i,
+                               std::size_t dmech_i, std::size_t samples_i) {
   PWCET_EXPECTS(task_i < spec.tasks.size());
   PWCET_EXPECTS(geometry_i < spec.geometries.size());
   PWCET_EXPECTS(pfail_i < spec.pfails.size());
   PWCET_EXPECTS(mechanism_i < spec.mechanisms.size());
   PWCET_EXPECTS(engine_i < spec.engines.size());
   PWCET_EXPECTS(kind_i < spec.kinds.size());
+  PWCET_EXPECTS(dcache_i < spec.dcaches.size());
+  PWCET_EXPECTS(dmech_i < spec.dcache_mechanisms.size());
+  PWCET_EXPECTS(samples_i < spec.sample_counts.size());
   std::size_t index = task_i;
   index = index * spec.geometries.size() + geometry_i;
   index = index * spec.pfails.size() + pfail_i;
   index = index * spec.mechanisms.size() + mechanism_i;
   index = index * spec.engines.size() + engine_i;
   index = index * spec.kinds.size() + kind_i;
+  index = index * spec.dcaches.size() + dcache_i;
+  index = index * spec.dcache_mechanisms.size() + dmech_i;
+  index = index * spec.sample_counts.size() + samples_i;
   return index;
 }
 

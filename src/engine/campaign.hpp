@@ -3,10 +3,11 @@
 ///
 /// Every figure and table of the paper is a cartesian sweep over a few axes:
 /// task x cache geometry x cell failure probability x reliability mechanism
-/// x WCET engine x analysis kind. A CampaignSpec names the axis values once;
-/// expand_campaign() unrolls them into a flat, deterministically ordered
-/// list of independent jobs that the runner (engine/runner.hpp) executes on
-/// a thread pool.
+/// x WCET engine x analysis kind — plus, for the extension artifacts, a
+/// data-cache configuration, a data-cache mechanism pairing and a sample
+/// count. A CampaignSpec names the axis values once; expand_campaign()
+/// unrolls them into a flat, deterministically ordered list of independent
+/// jobs that the runner (engine/runner.hpp) executes on a thread pool.
 ///
 /// Each job carries a seed derived from its *key* (the axis values, chained
 /// through Rng::derive_seed), not from shared generator state or from its
@@ -33,25 +34,66 @@ enum class AnalysisKind : std::uint8_t {
   kSpta,        ///< static pWCET analysis (the paper's pipeline)
   kMbpta,       ///< measurement-based EVT estimate over a chip population
   kSimulation,  ///< Monte-Carlo fault injection on the heavy path
+  kSlack,       ///< static-vs-simulated miss-bound conservatism (E5)
 };
 
-/// Short name ("spta" / "mbpta" / "sim").
+/// Short name ("spta" / "mbpta" / "sim" / "slack"); resolved through the
+/// axis-name registry (engine/names.hpp).
 std::string analysis_kind_name(AnalysisKind kind);
 
-/// Short engine name ("ilp" / "tree").
+/// Short engine name ("ilp" / "tree"); registry-resolved.
 std::string engine_name(WcetEngine engine);
 
+/// Mechanism deployed on the data cache of a combined I+D cell. `kSame`
+/// mirrors the job's instruction-cache mechanism — the uniform deployments
+/// of the E8 table; the explicit values express mixed deployments such as
+/// RW on the I-cache with SRB on the D-cache. Ignored (and reported as
+/// "-") when the cell's data cache is off.
+enum class DcacheMechanism : std::uint8_t {
+  kSame,
+  kNone,
+  kReliableWay,
+  kSharedReliableBuffer,
+};
+
+/// Short name ("same" / "none" / "RW" / "SRB"); registry-resolved.
+std::string dcache_mechanism_name(DcacheMechanism m);
+
+/// One value of the data-cache axis: disabled (instruction-cache-only
+/// analysis, the default) or a data-cache geometry analyzed alongside the
+/// instruction cache (paper §VI future work, dcache/dcache_analysis.hpp).
+struct DcacheAxis {
+  bool enabled = false;
+  CacheConfig geometry{};
+
+  friend bool operator==(const DcacheAxis&, const DcacheAxis&) = default;
+};
+
 /// One axis-per-member cartesian sweep. Empty required axes are rejected
-/// by validate(); `engines` and `kinds` default to the common case.
+/// by validate(); `engines`, `kinds`, `dcaches`, `dcache_mechanisms` and
+/// `sample_counts` default to the common case (one-entry axes that leave
+/// the job count unchanged).
 struct CampaignSpec {
   std::vector<std::string> tasks;        ///< workload names
-  std::vector<CacheConfig> geometries;   ///< cache configurations
+  std::vector<CacheConfig> geometries;   ///< (instruction-)cache configs
   std::vector<Probability> pfails;       ///< cell failure probabilities
   std::vector<Mechanism> mechanisms;     ///< none / RW / SRB
   std::vector<WcetEngine> engines{WcetEngine::kIlp};
   std::vector<AnalysisKind> kinds{AnalysisKind::kSpta};
+  /// Data-cache axis; the default single "off" entry keeps icache-only
+  /// campaigns unchanged. Enabled entries are only valid for SPTA cells.
+  std::vector<DcacheAxis> dcaches{DcacheAxis{}};
+  /// Data-cache mechanism pairing, crossed with `mechanisms`.
+  std::vector<DcacheMechanism> dcache_mechanisms{DcacheMechanism::kSame};
+  /// MBPTA / simulation population sizes; 0 = the spec-level defaults
+  /// (mbpta.chips, simulation_chips). Ignored by SPTA / slack cells.
+  std::vector<std::size_t> sample_counts{0};
 
   Probability target_exceedance = 1e-15;  ///< pWCET quantile reported
+  /// Exceedance probabilities at which every job also records its full
+  /// pWCET curve (the distribution sink, engine/report.hpp). Empty =
+  /// scalar-only campaign (the default).
+  std::vector<Probability> ccdf_exceedances;
   std::size_t max_distribution_points = 2048;
   MbptaOptions mbpta{};             ///< population size etc. for kMbpta
   std::size_t simulation_chips = 1000;  ///< population size for kSimulation
@@ -59,7 +101,8 @@ struct CampaignSpec {
 
   std::size_t job_count() const {
     return tasks.size() * geometries.size() * pfails.size() *
-           mechanisms.size() * engines.size() * kinds.size();
+           mechanisms.size() * engines.size() * kinds.size() *
+           dcaches.size() * dcache_mechanisms.size() * sample_counts.size();
   }
 
   void validate() const;
@@ -72,6 +115,7 @@ struct CampaignJob {
 
   std::size_t task_i = 0, geometry_i = 0, pfail_i = 0;
   std::size_t mechanism_i = 0, engine_i = 0, kind_i = 0;
+  std::size_t dcache_i = 0, dmech_i = 0, samples_i = 0;
 
   std::string task;
   CacheConfig geometry;
@@ -79,10 +123,20 @@ struct CampaignJob {
   Mechanism mechanism = Mechanism::kNone;
   WcetEngine engine = WcetEngine::kIlp;
   AnalysisKind kind = AnalysisKind::kSpta;
+  DcacheAxis dcache{};
+  DcacheMechanism dmech = DcacheMechanism::kSame;
+  std::size_t samples = 0;  ///< 0 = spec-level population defaults
 
   std::uint64_t seed = 0;  ///< per-job RNG seed, derived from the key
 
+  /// Data-cache mechanism with `kSame` resolved against `mechanism`.
+  /// Meaningful only when `dcache.enabled`.
+  Mechanism resolved_dmech() const;
+
   /// Stable human-readable id, e.g. "adpcm/16x4x16B/1.0e-04/SRB/ilp/spta".
+  /// Non-default extension axes append suffixes ("/D8x4x16B/SRB" for an
+  /// enabled data cache, "/n400" for an explicit sample count), so ids of
+  /// icache-only cells are unchanged from earlier releases.
   std::string id() const;
 };
 
@@ -91,7 +145,8 @@ std::uint64_t campaign_job_seed(const CampaignSpec& spec,
                                 const CampaignJob& job);
 
 /// Unrolls the sweep in fixed row-major order: tasks outermost, then
-/// geometries, pfails, mechanisms, engines, kinds innermost.
+/// geometries, pfails, mechanisms, engines, kinds, dcaches,
+/// dcache_mechanisms, sample_counts innermost.
 std::vector<CampaignJob> expand_campaign(const CampaignSpec& spec);
 
 /// Index of a cell in expansion order (inverse of the job's axis indices).
@@ -99,16 +154,19 @@ std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
                                std::size_t geometry_i, std::size_t pfail_i,
                                std::size_t mechanism_i,
                                std::size_t engine_i = 0,
-                               std::size_t kind_i = 0);
+                               std::size_t kind_i = 0,
+                               std::size_t dcache_i = 0,
+                               std::size_t dmech_i = 0,
+                               std::size_t samples_i = 0);
 
 /// Shared store-key prefix of a job's analyzer group: the (task, geometry,
-/// engine) values that determine which memoized sub-results (analyzer
-/// core, FMM rows) the job can reuse. Derived from the axis *values*
-/// (task name, geometry fields), not indices, so duplicated or reordered
-/// axis entries land on the same key. The runner submits groups ordered
-/// by this prefix (cache-aware ordering): groups about to touch the same
-/// memo entries run back to back, maximizing hit locality under a bounded
-/// LRU. Results are unaffected — collection is slot-indexed.
+/// engine, dcache) values that determine which memoized sub-results
+/// (analyzer core, FMM rows) the job can reuse. Derived from the axis
+/// *values* (task name, geometry fields), not indices, so duplicated or
+/// reordered axis entries land on the same key. The runner submits groups
+/// ordered by this prefix (cache-aware ordering): groups about to touch
+/// the same memo entries run back to back, maximizing hit locality under a
+/// bounded LRU. Results are unaffected — collection is slot-indexed.
 StoreKey campaign_group_key(const CampaignJob& job);
 
 /// Content key of a whole spec; names the campaign-report artifact the

@@ -1,0 +1,78 @@
+#include "engine/names.hpp"
+
+namespace pwcet {
+
+const std::vector<AxisName<Mechanism>>& mechanism_names() {
+  static const std::vector<AxisName<Mechanism>> kNames = {
+      {Mechanism::kNone, "none", "unprotected cache (baseline)"},
+      {Mechanism::kReliableWay, "RW",
+       "reliable way: way 0 of every set is hardened"},
+      {Mechanism::kSharedReliableBuffer, "SRB",
+       "shared reliable buffer: one hardened line-sized buffer"},
+  };
+  return kNames;
+}
+
+const std::vector<AxisName<WcetEngine>>& engine_names() {
+  static const std::vector<AxisName<WcetEngine>> kNames = {
+      {WcetEngine::kIlp, "ilp",
+       "IPET via the shared simplex (paper-faithful LP bound)"},
+      {WcetEngine::kTree, "tree",
+       "structural loop-tree engine (exact on structured CFGs)"},
+  };
+  return kNames;
+}
+
+const std::vector<AxisName<AnalysisKind>>& analysis_kind_names() {
+  static const std::vector<AxisName<AnalysisKind>> kNames = {
+      {AnalysisKind::kSpta, "spta",
+       "static probabilistic timing analysis (the paper)"},
+      {AnalysisKind::kMbpta, "mbpta",
+       "measurement-based EVT estimate over a chip population"},
+      {AnalysisKind::kSimulation, "sim",
+       "Monte-Carlo fault injection on the heavy path"},
+      {AnalysisKind::kSlack, "slack",
+       "static-vs-simulated miss-bound conservatism (SRB/RW)"},
+  };
+  return kNames;
+}
+
+const std::vector<AxisName<DcacheMechanism>>& dcache_mechanism_names() {
+  static const std::vector<AxisName<DcacheMechanism>> kNames = {
+      {DcacheMechanism::kSame, "same", "mirror the instruction-cache mechanism"},
+      {DcacheMechanism::kNone, "none", "unprotected data cache"},
+      {DcacheMechanism::kReliableWay, "RW", "hardened way 0 on the data cache"},
+      {DcacheMechanism::kSharedReliableBuffer, "SRB",
+       "one hardened line-sized buffer on the data cache"},
+  };
+  return kNames;
+}
+
+namespace {
+
+template <typename Enum>
+std::string name_of(const std::vector<AxisName<Enum>>& names, Enum value) {
+  for (const AxisName<Enum>& entry : names)
+    if (entry.value == value) return entry.name;
+  return "?";
+}
+
+}  // namespace
+
+// The *_name() helpers declared next to their enums all resolve through
+// the registry above; none carries its own copy of the spellings.
+std::string mechanism_name(Mechanism m) { return name_of(mechanism_names(), m); }
+
+std::string engine_name(WcetEngine engine) {
+  return name_of(engine_names(), engine);
+}
+
+std::string analysis_kind_name(AnalysisKind kind) {
+  return name_of(analysis_kind_names(), kind);
+}
+
+std::string dcache_mechanism_name(DcacheMechanism m) {
+  return name_of(dcache_mechanism_names(), m);
+}
+
+}  // namespace pwcet

@@ -1,8 +1,10 @@
 #include "engine/report.hpp"
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <string_view>
 
 #include "support/json.hpp"
 
@@ -27,7 +29,7 @@ std::string fmt_u64(std::uint64_t value) {
 /// Single source of truth for column names and their JSON type, so the
 /// quoting decision cannot drift from the column order.
 ///
-/// The numeric tail (wcet_ff .. penalty_points) is also parsed back by
+/// The numeric tail (wcet_ff .. bound_misses_1) is also parsed back by
 /// engine/runner.cpp's parse_campaign_report when a persisted campaign
 /// report is loaded; renaming or reordering those columns breaks that
 /// parse — store_test's CampaignWarmFromDiskIsByteIdentical (which
@@ -40,14 +42,73 @@ struct Column {
 constexpr Column kColumns[] = {
     {"task", true},         {"sets", false},
     {"ways", false},        {"line_bytes", false},
-    {"pfail", false},       {"mech", true},
+    // Data-cache axis: 0x0x0 when the cell's data cache is off; dmech is
+    // the *resolved* data-cache mechanism ("-" when off).
+    {"dsets", false},       {"dways", false},
+    {"dline_bytes", false}, {"pfail", false},
+    {"mech", true},         {"dmech", true},
     {"engine", true},       {"kind", true},
+    // samples: the raw sample-count axis value (0 = spec-level defaults).
+    {"samples", false},
     // seed: a full 64-bit value would be silently rounded by double-based
     // JSON parsers (jq, JavaScript), so it travels as a string.
     {"seed", true},         {"wcet_ff", false},
     {"pwcet", false},       {"observed_max", false},
     {"penalty_mean", false}, {"penalty_points", false},
+    {"fetches", false},     {"srb_hits", false},
+    {"sim_misses", false},  {"bound_misses", false},
+    {"sim_misses_1", false}, {"bound_misses_1", false},
 };
+
+/// Job-identity columns shared by the scalar and dist reports: everything
+/// in kColumns up to (excluding) the numeric result tail.
+constexpr std::size_t kJobColumns = 14;  // task .. seed
+static_assert(std::string_view(kColumns[kJobColumns].name) == "wcet_ff",
+              "kJobColumns must mark where the numeric result tail starts");
+
+/// The dist report: the job-identity prefix plus the curve point.
+constexpr Column kDistTail[] = {
+    {"exceedance", false},
+    {"value", false},
+};
+
+std::vector<std::string> job_row(const CampaignJob& job) {
+  return {job.task,
+          std::to_string(job.geometry.sets),
+          std::to_string(job.geometry.ways),
+          std::to_string(job.geometry.line_bytes),
+          std::to_string(job.dcache.enabled ? job.dcache.geometry.sets : 0),
+          std::to_string(job.dcache.enabled ? job.dcache.geometry.ways : 0),
+          std::to_string(job.dcache.enabled ? job.dcache.geometry.line_bytes
+                                            : 0),
+          fmt_exact(job.pfail),
+          mechanism_name(job.mechanism),
+          job.dcache.enabled ? mechanism_name(job.resolved_dmech()) : "-",
+          engine_name(job.engine),
+          analysis_kind_name(job.kind),
+          std::to_string(job.samples),
+          fmt_u64(job.seed)};
+}
+
+std::string render_jsonl_row(const Column* columns, std::size_t count,
+                             const std::vector<std::string>& row) {
+  std::string out = "{";
+  for (std::size_t c = 0; c < count; ++c) {
+    out += '"';
+    out += columns[c].name;
+    out += "\":";
+    if (columns[c].json_string) {
+      out += '"';
+      out += json_escape(row[c]);
+      out += '"';
+    } else {
+      out += row[c];
+    }
+    if (c + 1 < count) out += ',';
+  }
+  out += "}\n";
+  return out;
+}
 
 }  // namespace
 
@@ -61,21 +122,19 @@ std::vector<std::string> report_columns() {
 std::vector<std::string> report_row(const CampaignResult& campaign,
                                     const JobResult& result) {
   (void)campaign;
-  const CampaignJob& job = result.job;
-  return {job.task,
-          std::to_string(job.geometry.sets),
-          std::to_string(job.geometry.ways),
-          std::to_string(job.geometry.line_bytes),
-          fmt_exact(job.pfail),
-          mechanism_name(job.mechanism),
-          engine_name(job.engine),
-          analysis_kind_name(job.kind),
-          fmt_u64(job.seed),
-          std::to_string(result.fault_free_wcet),
-          fmt_exact(result.pwcet),
-          fmt_exact(result.observed_max),
-          fmt_exact(result.penalty_mean),
-          std::to_string(result.penalty_points)};
+  std::vector<std::string> row = job_row(result.job);
+  row.push_back(std::to_string(result.fault_free_wcet));
+  row.push_back(fmt_exact(result.pwcet));
+  row.push_back(fmt_exact(result.observed_max));
+  row.push_back(fmt_exact(result.penalty_mean));
+  row.push_back(std::to_string(result.penalty_points));
+  row.push_back(fmt_u64(result.fetches));
+  row.push_back(fmt_u64(result.srb_hits));
+  row.push_back(fmt_u64(result.sim_misses));
+  row.push_back(fmt_u64(result.bound_misses));
+  row.push_back(fmt_u64(result.sim_misses_1));
+  row.push_back(fmt_u64(result.bound_misses_1));
+  return row;
 }
 
 TextTable report_table(const CampaignResult& campaign) {
@@ -91,24 +150,65 @@ std::string report_csv(const CampaignResult& campaign) {
 
 std::string report_jsonl(const CampaignResult& campaign) {
   std::string out;
+  for (const JobResult& result : campaign.results)
+    out += render_jsonl_row(kColumns, std::size(kColumns),
+                            report_row(campaign, result));
+  return out;
+}
+
+std::vector<std::string> report_dist_columns() {
+  std::vector<std::string> names;
+  names.reserve(kJobColumns + std::size(kDistTail));
+  for (std::size_t c = 0; c < kJobColumns; ++c)
+    names.push_back(kColumns[c].name);
+  for (const Column& column : kDistTail) names.push_back(column.name);
+  return names;
+}
+
+namespace {
+
+/// Rows of the dist report, rendered through `emit(columns-array, row)`.
+template <typename Emit>
+void each_dist_row(const CampaignResult& campaign, Emit&& emit) {
+  const std::vector<Probability>& points = campaign.spec.ccdf_exceedances;
   for (const JobResult& result : campaign.results) {
-    const std::vector<std::string> row = report_row(campaign, result);
-    out += '{';
-    for (std::size_t c = 0; c < std::size(kColumns); ++c) {
-      out += '"';
-      out += kColumns[c].name;
-      out += "\":";
-      if (kColumns[c].json_string) {
-        out += '"';
-        out += json_escape(row[c]);
-        out += '"';
-      } else {
-        out += row[c];
-      }
-      if (c + 1 < std::size(kColumns)) out += ',';
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::vector<std::string> row = job_row(result.job);
+      row.push_back(fmt_exact(points[i]));
+      row.push_back(fmt_exact(i < result.curve.size() ? result.curve[i]
+                                                      : 0.0));
+      emit(std::move(row));
     }
-    out += "}\n";
   }
+}
+
+constexpr auto make_dist_columns() {
+  std::array<Column, kJobColumns + std::size(kDistTail)> columns{};
+  for (std::size_t c = 0; c < kJobColumns; ++c) columns[c] = kColumns[c];
+  for (std::size_t c = 0; c < std::size(kDistTail); ++c)
+    columns[kJobColumns + c] = kDistTail[c];
+  return columns;
+}
+
+}  // namespace
+
+TextTable report_dist_table(const CampaignResult& campaign) {
+  TextTable table(report_dist_columns());
+  each_dist_row(campaign,
+                [&](std::vector<std::string> row) { table.add_row(row); });
+  return table;
+}
+
+std::string report_dist_csv(const CampaignResult& campaign) {
+  return report_dist_table(campaign).to_csv();
+}
+
+std::string report_dist_jsonl(const CampaignResult& campaign) {
+  static constexpr auto kDistColumns = make_dist_columns();
+  std::string out;
+  each_dist_row(campaign, [&](std::vector<std::string> row) {
+    out += render_jsonl_row(kDistColumns.data(), kDistColumns.size(), row);
+  });
   return out;
 }
 
@@ -121,7 +221,17 @@ bool write_report_files(const CampaignResult& campaign,
   std::ofstream jsonl(basename + ".jsonl", std::ios::binary);
   jsonl << report_jsonl(campaign);
   jsonl.close();
-  return !csv.fail() && !jsonl.fail();
+  bool ok = !csv.fail() && !jsonl.fail();
+  if (!campaign.spec.ccdf_exceedances.empty()) {
+    std::ofstream dist_csv(basename + ".dist.csv", std::ios::binary);
+    dist_csv << report_dist_csv(campaign);
+    dist_csv.close();
+    std::ofstream dist_jsonl(basename + ".dist.jsonl", std::ios::binary);
+    dist_jsonl << report_dist_jsonl(campaign);
+    dist_jsonl.close();
+    ok = ok && !dist_csv.fail() && !dist_jsonl.fail();
+  }
+  return ok;
 }
 
 }  // namespace pwcet

@@ -9,6 +9,12 @@
 /// timing- or machine-dependent enters a row — which is what lets the
 /// tests assert that an N-thread campaign reproduces a 1-thread campaign
 /// byte for byte.
+///
+/// Campaigns with a distribution sink (spec.ccdf_exceedances non-empty)
+/// additionally render a *dist* report: one row per (job, exceedance
+/// point), job-major — the full pWCET curve (CCDF) of every cell, e.g.
+/// the paper's Fig. 3 series. write_report_files emits it as
+/// `basename`.dist.{csv,jsonl} next to the scalar report.
 #pragma once
 
 #include <string>
@@ -35,7 +41,19 @@ std::string report_csv(const CampaignResult& campaign);
 /// The whole campaign as JSON lines (one object per job, no header).
 std::string report_jsonl(const CampaignResult& campaign);
 
-/// Writes `basename`.csv and `basename`.jsonl; returns false on I/O error.
+/// Column names of the distribution-sink report, in order.
+std::vector<std::string> report_dist_columns();
+
+/// The distribution sink as an aligned text table / CSV / JSON lines:
+/// one row per (job, spec.ccdf_exceedances entry), job-major. Empty
+/// (header-only for CSV) when the spec requests no distribution output.
+TextTable report_dist_table(const CampaignResult& campaign);
+std::string report_dist_csv(const CampaignResult& campaign);
+std::string report_dist_jsonl(const CampaignResult& campaign);
+
+/// Writes `basename`.csv and `basename`.jsonl — plus, when the campaign
+/// carries a distribution sink, `basename`.dist.csv and
+/// `basename`.dist.jsonl; returns false on I/O error.
 bool write_report_files(const CampaignResult& campaign,
                         const std::string& basename);
 

@@ -15,31 +15,58 @@
 #include <tuple>
 #include <utility>
 
+#include "cache/references.hpp"
 #include "core/pwcet_analyzer.hpp"
+#include "dcache/dcache_analysis.hpp"
 #include "engine/report.hpp"
 #include "engine/thread_pool.hpp"
 #include "fault/fault_map.hpp"
+#include "icache/srb_analysis.hpp"
 #include "mbpta/mbpta.hpp"
 #include "sim/cache_sim.hpp"
 #include "sim/path.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "wcet/cost_model.hpp"
+#include "wcet/tree_engine.hpp"
 #include "workloads/malardalen.hpp"
 
 namespace pwcet {
 namespace {
 
-JobResult run_spta(const CampaignJob& job, const PwcetAnalyzer& analyzer,
-                   const CampaignSpec& spec) {
+/// Maps a finished SPTA analysis into a job row — shared by the
+/// single-cache and combined I+D paths so the two can never drift in how
+/// a PwcetResult becomes report columns.
+JobResult fill_spta_result(const CampaignJob& job, const PwcetResult& res,
+                           Cycles fault_free_wcet,
+                           const CampaignSpec& spec) {
   JobResult r;
   r.job = job;
-  const PwcetResult res =
-      analyzer.analyze(FaultModel(job.pfail), job.mechanism);
-  r.fault_free_wcet = analyzer.fault_free_wcet();
+  r.fault_free_wcet = fault_free_wcet;
   r.pwcet = static_cast<double>(res.pwcet(spec.target_exceedance));
   r.penalty_mean = res.penalty.mean();
   r.penalty_points = res.penalty.size();
+  r.curve.reserve(spec.ccdf_exceedances.size());
+  for (const Probability p : spec.ccdf_exceedances)
+    r.curve.push_back(static_cast<double>(res.pwcet(p)));
   return r;
+}
+
+JobResult run_spta(const CampaignJob& job, const PwcetAnalyzer& analyzer,
+                   const CampaignSpec& spec) {
+  return fill_spta_result(
+      job, analyzer.analyze(FaultModel(job.pfail), job.mechanism),
+      analyzer.fault_free_wcet(), spec);
+}
+
+JobResult run_combined_spta(const CampaignJob& job,
+                            const CombinedPwcetAnalyzer& analyzer,
+                            const CampaignSpec& spec) {
+  return fill_spta_result(
+      job,
+      analyzer.analyze_mixed(FaultModel(job.pfail), job.mechanism,
+                             job.resolved_dmech()),
+      analyzer.fault_free_wcet(), spec);
 }
 
 JobResult run_mbpta_job(const CampaignJob& job, const Program& program,
@@ -48,11 +75,15 @@ JobResult run_mbpta_job(const CampaignJob& job, const Program& program,
   r.job = job;
   MbptaOptions options = spec.mbpta;
   options.seed = job.seed;  // per-job stream, not the spec-wide default
+  if (job.samples != 0) options.chips = job.samples;  // sample-count axis
   const MbptaResult res = run_mbpta(program, job.geometry,
                                     FaultModel(job.pfail), job.mechanism,
                                     options);
   r.pwcet = res.pwcet(spec.target_exceedance);
   r.observed_max = res.observed_max;
+  r.curve.reserve(spec.ccdf_exceedances.size());
+  for (const Probability p : spec.ccdf_exceedances)
+    r.curve.push_back(res.pwcet(p));
   return r;
 }
 
@@ -68,11 +99,13 @@ JobResult run_simulation_job(const CampaignJob& job, const Program& program,
   const Probability pbf = faults.block_failure_probability(job.geometry);
   const std::vector<Address> trace =
       fetch_trace(program.cfg(), heavy_walk(program));
+  const std::size_t chips =
+      job.samples != 0 ? job.samples : spec.simulation_chips;
 
   Rng rng(job.seed);
   std::vector<double> times;
-  times.reserve(spec.simulation_chips);
-  for (std::size_t chip = 0; chip < spec.simulation_chips; ++chip) {
+  times.reserve(chips);
+  for (std::size_t chip = 0; chip < chips; ++chip) {
     const FaultMap map = FaultMap::sample(job.geometry, pbf, rng);
     const SimStats stats = simulate_trace(job.geometry, map, job.mechanism,
                                           trace);
@@ -80,6 +113,127 @@ JobResult run_simulation_job(const CampaignJob& job, const Program& program,
   }
   r.observed_max = *std::max_element(times.begin(), times.end());
   r.pwcet = empirical_quantile(times, 1.0 - spec.target_exceedance);
+  r.curve.reserve(spec.ccdf_exceedances.size());
+  for (const Probability p : spec.ccdf_exceedances)
+    r.curve.push_back(empirical_quantile(times, 1.0 - p));
+  return r;
+}
+
+/// Numeric outcome of one slack (conservatism) measurement; memoized per
+/// (program, geometry, mechanism) since the pfail axis does not enter.
+struct SlackStats {
+  std::uint64_t fetches = 0, srb_hits = 0;
+  std::uint64_t sim_misses = 0, bound_misses = 0;
+  std::uint64_t sim_misses_1 = 0, bound_misses_1 = 0;
+};
+
+/// The E5 conservatism oracle (bench/tab_srb_conservatism.cpp's two
+/// regimes), generalized to the SRB-vs-RW pairing:
+///
+///  * SRB — with a fully faulty set every fetch goes through the SRB; the
+///    static analysis bounds each executed reference by 1 miss unless it
+///    is SRB-always-hit (then 0).
+///  * RW — a degraded set keeps exactly the hardened way, so the static
+///    side is the must-classification of the one-way cache (sound per set:
+///    set-associative must analysis is per-set independent); an executed
+///    reference costs at most 1 miss unless classified always-hit.
+///
+/// Regime A degrades every set; regime B only set 0 (references to healthy
+/// sets then retain state the conservative assumption must discard — the
+/// paper's a1 a2 b1 b2 a1 a2 situation, §III-B.2). The gap between the
+/// static bound and the simulated misses on the worst structural path is
+/// what a flow-sensitive analysis could reclaim.
+SlackStats compute_slack(const Program& program, const CacheConfig& config,
+                         Mechanism mechanism) {
+  const ReferenceMap refs = extract_references(program.cfg(), config);
+  const auto cls = classify_fault_free(program.cfg(), refs, config);
+  const CostModel time_model =
+      build_time_cost_model(program.cfg(), refs, cls, config);
+  const BlockPath path = tree_worst_path(program, time_model);
+
+  SrbHitMap srb_always_hit;
+  ClassificationMap one_way_cls;
+  if (mechanism == Mechanism::kSharedReliableBuffer) {
+    srb_always_hit = analyze_srb(program.cfg(), refs);
+  } else {
+    CacheConfig one_way = config;
+    one_way.ways = 1;
+    one_way_cls = classify_fault_free(program.cfg(), refs, one_way);
+  }
+  // Misses charged to one executed occurrence of reference i in blk.
+  auto charged = [&](BlockId blk, std::size_t i) -> std::uint64_t {
+    if (mechanism == Mechanism::kSharedReliableBuffer)
+      return srb_always_hit[size_t(blk)][i] ? 0 : 1;
+    return one_way_cls[size_t(blk)][i].chmc == Chmc::kAlwaysHit ? 0 : 1;
+  };
+
+  SlackStats out;
+
+  // Regime A: every set fully faulty (RW's hardened way is masked by the
+  // simulator, leaving one usable way per set).
+  FaultMap all_faulty(config.sets, config.ways);
+  for (SetIndex s = 0; s < config.sets; ++s)
+    for (std::uint32_t w = 0; w < config.ways; ++w)
+      all_faulty.set_faulty(s, w, true);
+  CacheSimulator sim_all(config, all_faulty, mechanism);
+  for (BlockId blk : path) {
+    const auto& block_refs = refs[size_t(blk)];
+    for (std::size_t i = 0; i < block_refs.size(); ++i) {
+      const LineRef& r = block_refs[i];
+      out.bound_misses += charged(blk, i);
+      for (std::uint32_t k = 0; k < r.fetches; ++k)
+        sim_all.fetch(r.line * config.line_bytes + 4 * k);
+    }
+  }
+  out.fetches = sim_all.stats().fetches;
+  out.srb_hits = sim_all.stats().srb_hits;
+  out.sim_misses = sim_all.stats().misses;
+
+  // Regime B: only set 0 degraded; the bound covers set-0 references.
+  FaultMap one_set(config.sets, config.ways);
+  for (std::uint32_t w = 0; w < config.ways; ++w)
+    one_set.set_faulty(0, w, true);
+  CacheSimulator sim_one(config, one_set, mechanism);
+  for (BlockId blk : path) {
+    const auto& block_refs = refs[size_t(blk)];
+    for (std::size_t i = 0; i < block_refs.size(); ++i) {
+      const LineRef& r = block_refs[i];
+      if (r.set == 0) out.bound_misses_1 += charged(blk, i);
+      for (std::uint32_t k = 0; k < r.fetches; ++k)
+        sim_one.fetch(r.line * config.line_bytes + 4 * k);
+    }
+  }
+  out.sim_misses_1 = sim_one.stats().misses_per_set[0];
+  return out;
+}
+
+JobResult run_slack_job(const CampaignJob& job, const Program& program,
+                        const CampaignSpec& spec, AnalysisStore* store) {
+  JobResult r;
+  r.job = job;
+  SlackStats stats;
+  if (store != nullptr) {
+    const StoreKey key =
+        KeyHasher("slack-v1")
+            .mix_key(hash_program(program))
+            .mix_key(hash_cache_config(job.geometry))
+            .mix_u64(static_cast<std::uint64_t>(job.mechanism))
+            .finish();
+    stats = *store->memo().get_or_compute<SlackStats>(
+        key, [&] { return compute_slack(program, job.geometry,
+                                        job.mechanism); });
+  } else {
+    stats = compute_slack(program, job.geometry, job.mechanism);
+  }
+  r.fetches = stats.fetches;
+  r.srb_hits = stats.srb_hits;
+  r.sim_misses = stats.sim_misses;
+  r.bound_misses = stats.bound_misses;
+  r.sim_misses_1 = stats.sim_misses_1;
+  r.bound_misses_1 = stats.bound_misses_1;
+  // Slack cells have no pWCET curve; keep the distribution sink total
+  // (jobs x points) so renders and the warm-load parser stay aligned.
+  r.curve.assign(spec.ccdf_exceedances.size(), 0.0);
   return r;
 }
 
@@ -106,11 +260,18 @@ bool parse_campaign_report(const std::string& payload,
     long long wcet_ff = 0;
     double pwcet = 0.0, observed_max = 0.0, penalty_mean = 0.0;
     unsigned long long penalty_points = 0;
+    unsigned long long fetches = 0, srb_hits = 0;
+    unsigned long long sim_misses = 0, bound_misses = 0;
+    unsigned long long sim_misses_1 = 0, bound_misses_1 = 0;
     if (std::sscanf(at,
                     "\"wcet_ff\":%lld,\"pwcet\":%lf,\"observed_max\":%lf,"
-                    "\"penalty_mean\":%lf,\"penalty_points\":%llu}",
+                    "\"penalty_mean\":%lf,\"penalty_points\":%llu,"
+                    "\"fetches\":%llu,\"srb_hits\":%llu,"
+                    "\"sim_misses\":%llu,\"bound_misses\":%llu,"
+                    "\"sim_misses_1\":%llu,\"bound_misses_1\":%llu}",
                     &wcet_ff, &pwcet, &observed_max, &penalty_mean,
-                    &penalty_points) != 5)
+                    &penalty_points, &fetches, &srb_hits, &sim_misses,
+                    &bound_misses, &sim_misses_1, &bound_misses_1) != 11)
       return false;
     JobResult& result = results[row];
     result.job = jobs[row];
@@ -119,9 +280,42 @@ bool parse_campaign_report(const std::string& payload,
     result.observed_max = observed_max;
     result.penalty_mean = penalty_mean;
     result.penalty_points = static_cast<std::size_t>(penalty_points);
+    result.fetches = fetches;
+    result.srb_hits = srb_hits;
+    result.sim_misses = sim_misses;
+    result.bound_misses = bound_misses;
+    result.sim_misses_1 = sim_misses_1;
+    result.bound_misses_1 = bound_misses_1;
     ++row;
   }
   return row == jobs.size();
+}
+
+/// Rebuilds the per-job pWCET curves from a persisted distribution-sink
+/// payload (engine/report.cpp's dist layout: one row per (job, exceedance
+/// point), job-major). The curve values were printed with "%.17g", so the
+/// reconstruction renders byte-identically.
+bool parse_campaign_dist(const std::string& payload, std::size_t points,
+                         std::vector<JobResult>& results) {
+  std::istringstream lines(payload);
+  std::string line;
+  std::size_t row = 0;
+  const std::size_t total = results.size() * points;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (row >= total) return false;
+    const char* at = std::strstr(line.c_str(), "\"exceedance\":");
+    if (at == nullptr) return false;
+    double exceedance = 0.0, value = 0.0;
+    if (std::sscanf(at, "\"exceedance\":%lf,\"value\":%lf}", &exceedance,
+                    &value) != 2)
+      return false;
+    JobResult& result = results[row / points];
+    if (result.curve.size() != points) result.curve.assign(points, 0.0);
+    result.curve[row % points] = value;
+    ++row;
+  }
+  return row == total;
 }
 
 }  // namespace
@@ -148,6 +342,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // Hashing the spec builds every workload once; do it once and only when
   // the disk tier that needs it (load below, persist at the end) exists.
   const StoreKey spec_key = disk ? campaign_spec_key(spec) : StoreKey{};
+  const std::size_t curve_points = spec.ccdf_exceedances.size();
 
   CampaignResult campaign;
   campaign.spec = spec;
@@ -157,15 +352,25 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // Whole-campaign load-or-compute, checked before the pool is spawned so
   // the "near-instant" warm path starts no threads: an identical spec
   // already answered by any process sharing this cache dir is served from
-  // its persisted report artifact — the reconstruction renders
+  // its persisted report artifact(s) — the reconstruction renders
   // byte-identically, so consumers cannot tell (except by the wall
-  // clock). Stale-cache safety: artifacts carry
+  // clock). Specs with a distribution sink additionally need the
+  // campaign-dist artifact; if either is missing or stale, everything is
+  // recomputed. Stale-cache safety: artifacts carry
   // ArtifactStore::kFormatVersion, which must be bumped whenever analysis
   // semantics change; workload content is hashed into the key.
   if (disk) {
     const std::optional<std::string> cached =
         store->artifacts()->load_text("campaign-report", spec_key);
-    if (cached && parse_campaign_report(*cached, jobs, campaign.results)) {
+    bool complete = cached.has_value() &&
+                    parse_campaign_report(*cached, jobs, campaign.results);
+    if (complete && curve_points > 0) {
+      const std::optional<std::string> dist =
+          store->artifacts()->load_text("campaign-dist", spec_key);
+      complete = dist.has_value() &&
+                 parse_campaign_dist(*dist, curve_points, campaign.results);
+    }
+    if (complete) {
       campaign.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         started)
@@ -179,11 +384,12 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 
   // Group jobs that can share one analyzer / one program build. std::map
   // keeps submission order deterministic.
-  std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>,
            std::vector<std::size_t>>
       groups;
   for (const CampaignJob& job : jobs)
-    groups[{job.task_i, job.geometry_i, job.engine_i}].push_back(job.index);
+    groups[{job.task_i, job.geometry_i, job.engine_i, job.dcache_i}]
+        .push_back(job.index);
 
   // Cache-aware submission order: sort groups by their shared store-key
   // prefix so groups that reuse the same memo entries (duplicate axis
@@ -205,9 +411,12 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       const CampaignJob& first = jobs[members->front()];
       const Program program = workloads::build(first.task);
 
-      // Built on first SPTA cell; SRB/RW/pfail cells reuse it (the FMM
-      // bundle covers all mechanisms, per core/pwcet_analyzer.hpp).
+      // Built on the group's first SPTA cell; SRB/RW/pfail cells reuse it
+      // (the FMM bundle covers all mechanisms, per core/pwcet_analyzer.hpp).
+      // Groups with the data cache enabled build the combined analyzer
+      // instead — the dcache geometry is part of the group key.
       std::optional<PwcetAnalyzer> analyzer;
+      std::optional<CombinedPwcetAnalyzer> combined;
       PwcetOptions popts;
       popts.engine = first.engine;
       popts.max_distribution_points = spec.max_distribution_points;
@@ -218,14 +427,26 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         const CampaignJob& job = jobs[index];
         switch (job.kind) {
           case AnalysisKind::kSpta:
-            if (!analyzer) analyzer.emplace(program, job.geometry, popts);
-            campaign.results[index] = run_spta(job, *analyzer, spec);
+            if (job.dcache.enabled) {
+              if (!combined)
+                combined.emplace(program, job.geometry, job.dcache.geometry,
+                                 popts);
+              campaign.results[index] = run_combined_spta(job, *combined,
+                                                          spec);
+            } else {
+              if (!analyzer) analyzer.emplace(program, job.geometry, popts);
+              campaign.results[index] = run_spta(job, *analyzer, spec);
+            }
             break;
           case AnalysisKind::kMbpta:
             campaign.results[index] = run_mbpta_job(job, program, spec);
             break;
           case AnalysisKind::kSimulation:
             campaign.results[index] = run_simulation_job(job, program, spec);
+            break;
+          case AnalysisKind::kSlack:
+            campaign.results[index] = run_slack_job(job, program, spec,
+                                                    store);
             break;
         }
       }
@@ -263,12 +484,17 @@ CampaignResult run_campaign(const CampaignSpec& spec,
           .count();
   if (store != nullptr) {
     campaign.store_stats = store->stats().since(stats_before);
-    // Disk tier: persist the whole campaign's JSONL report under the
-    // spec's content key, so an identical future campaign (any process)
-    // can be answered — and cross-checked — without recomputation.
-    if (disk)
+    // Disk tier: persist the whole campaign's JSONL report (and, for
+    // distribution campaigns, the sink) under the spec's content key, so
+    // an identical future campaign (any process) can be answered — and
+    // cross-checked — without recomputation.
+    if (disk) {
       store->artifacts()->store_text("campaign-report", spec_key,
                                      report_jsonl(campaign));
+      if (curve_points > 0)
+        store->artifacts()->store_text("campaign-dist", spec_key,
+                                       report_dist_jsonl(campaign));
+    }
   }
   return campaign;
 }

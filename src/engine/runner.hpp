@@ -53,7 +53,8 @@ struct RunnerOptions {
 };
 
 /// Outcome of one campaign job. Which fields are meaningful depends on the
-/// job's AnalysisKind; unused fields stay 0.
+/// job's AnalysisKind; unused fields stay 0 (and `curve` stays empty
+/// unless the spec requests a distribution output).
 struct JobResult {
   CampaignJob job;
   Cycles fault_free_wcet = 0;   ///< SPTA only
@@ -61,6 +62,21 @@ struct JobResult {
   double observed_max = 0.0;    ///< MBPTA / simulation only
   double penalty_mean = 0.0;    ///< SPTA: mean fault-induced penalty
   std::size_t penalty_points = 0;  ///< SPTA: support size kept
+
+  // Slack (kind kSlack) fields: static-vs-simulated miss bounds on the
+  // worst structural path, in the all-sets-faulty regime and with only
+  // set 0 degraded (bench/tab_srb_conservatism.cpp's two tables).
+  std::uint64_t fetches = 0;        ///< simulated fetches (all-faulty run)
+  std::uint64_t srb_hits = 0;       ///< SRB hits (spatial locality credit)
+  std::uint64_t sim_misses = 0;     ///< simulated misses, all sets faulty
+  std::uint64_t bound_misses = 0;   ///< static miss bound, all sets faulty
+  std::uint64_t sim_misses_1 = 0;   ///< simulated set-0 misses, set 0 faulty
+  std::uint64_t bound_misses_1 = 0;  ///< static set-0 bound, set 0 faulty
+
+  /// Distribution sink: the job's pWCET-curve value at each
+  /// spec.ccdf_exceedances entry (same order). Empty when the spec
+  /// requests no distribution output; all-zero for slack jobs.
+  std::vector<double> curve;
 };
 
 struct CampaignResult {
@@ -74,9 +90,12 @@ struct CampaignResult {
 
   const JobResult& at(std::size_t task_i, std::size_t geometry_i,
                       std::size_t pfail_i, std::size_t mechanism_i,
-                      std::size_t engine_i = 0, std::size_t kind_i = 0) const {
+                      std::size_t engine_i = 0, std::size_t kind_i = 0,
+                      std::size_t dcache_i = 0, std::size_t dmech_i = 0,
+                      std::size_t samples_i = 0) const {
     return results[campaign_job_index(spec, task_i, geometry_i, pfail_i,
-                                      mechanism_i, engine_i, kind_i)];
+                                      mechanism_i, engine_i, kind_i,
+                                      dcache_i, dmech_i, samples_i)];
   }
 };
 

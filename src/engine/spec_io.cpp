@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cfg/basic_block.hpp"
+#include "engine/names.hpp"
 #include "support/json.hpp"
 #include "workloads/malardalen.hpp"
 
@@ -392,9 +393,11 @@ class SpecReader {
     static const std::vector<std::string> kKnownKeys = {
         "name",          "notes",
         "tasks",         "geometries",
-        "pfails",        "mechanisms",
+        "dcaches",       "pfails",
+        "mechanisms",    "dcache_mechanisms",
         "engines",       "kinds",
-        "target_exceedance", "max_distribution_points",
+        "sample_counts", "target_exceedance",
+        "ccdf_exceedances", "max_distribution_points",
         "mbpta",         "simulation_chips",
         "base_seed"};
 
@@ -418,24 +421,30 @@ class SpecReader {
       } else if (key == "pfails") {
         spec.pfails = read_pfails(value);
         saw_pfails = true;
+      } else if (key == "dcaches") {
+        spec.dcaches = read_dcaches(value);
       } else if (key == "mechanisms") {
+        // All enum axes parse against the axis-name registry
+        // (engine/names.hpp), the same tables the reports and `pwcet
+        // list` print from.
         spec.mechanisms = read_enums<Mechanism>(
-            value, key, {{"none", Mechanism::kNone},
-                         {"RW", Mechanism::kReliableWay},
-                         {"SRB", Mechanism::kSharedReliableBuffer}},
-            "mechanism");
+            value, key, axis_name_table(mechanism_names()), "mechanism");
         saw_mechanisms = true;
+      } else if (key == "dcache_mechanisms") {
+        spec.dcache_mechanisms = read_enums<DcacheMechanism>(
+            value, key, axis_name_table(dcache_mechanism_names()),
+            "dcache mechanism");
       } else if (key == "engines") {
         spec.engines = read_enums<WcetEngine>(
-            value, key,
-            {{"ilp", WcetEngine::kIlp}, {"tree", WcetEngine::kTree}},
-            "engine");
+            value, key, axis_name_table(engine_names()), "engine");
       } else if (key == "kinds") {
         spec.kinds = read_enums<AnalysisKind>(
-            value, key, {{"spta", AnalysisKind::kSpta},
-                         {"mbpta", AnalysisKind::kMbpta},
-                         {"sim", AnalysisKind::kSimulation}},
+            value, key, axis_name_table(analysis_kind_names()),
             "analysis kind");
+      } else if (key == "sample_counts") {
+        spec.sample_counts = read_sample_counts(value);
+      } else if (key == "ccdf_exceedances") {
+        spec.ccdf_exceedances = read_ccdf_exceedances(value);
       } else if (key == "target_exceedance") {
         spec.target_exceedance = as_number(value, key);
         if (!(spec.target_exceedance > 0.0 && spec.target_exceedance <= 1.0))
@@ -474,16 +483,44 @@ class SpecReader {
       fail(source_, root.line, "missing required key \"mechanisms\"",
            "mechanisms");
 
-    // Cross-field constraint mirrored from CampaignSpec::validate(), which
-    // would otherwise abort instead of reporting.
-    const bool wants_mbpta =
-        std::find(spec.kinds.begin(), spec.kinds.end(),
-                  AnalysisKind::kMbpta) != spec.kinds.end();
-    if (wants_mbpta && spec.mbpta.chips < 2 * spec.mbpta.block_size)
-      fail(source_, root.line,
-           "mbpta.chips must be at least 2 * mbpta.block_size when \"kinds\" "
-           "includes \"mbpta\"",
-           "mbpta.chips");
+    // Cross-field constraints mirrored from CampaignSpec::validate(),
+    // which would otherwise abort instead of reporting.
+    const auto wants = [&spec](AnalysisKind kind) {
+      return std::find(spec.kinds.begin(), spec.kinds.end(), kind) !=
+             spec.kinds.end();
+    };
+    if (wants(AnalysisKind::kMbpta)) {
+      if (spec.mbpta.chips < 2 * spec.mbpta.block_size)
+        fail(source_, root.line,
+             "mbpta.chips must be at least 2 * mbpta.block_size when "
+             "\"kinds\" includes \"mbpta\"",
+             "mbpta.chips");
+      for (std::size_t i = 0; i < spec.sample_counts.size(); ++i)
+        if (spec.sample_counts[i] != 0 &&
+            spec.sample_counts[i] < 2 * spec.mbpta.block_size)
+          fail(source_, root.line,
+               "sample_counts entries must be at least 2 * mbpta.block_size "
+               "(or 0 for the default) when \"kinds\" includes \"mbpta\"",
+               "sample_counts[" + std::to_string(i) + "]");
+    }
+    bool any_dcache = false;
+    for (const DcacheAxis& d : spec.dcaches) any_dcache |= d.enabled;
+    if (any_dcache)
+      for (const AnalysisKind kind : spec.kinds)
+        if (kind != AnalysisKind::kSpta)
+          fail(source_, root.line,
+               "kind \"" + analysis_kind_name(kind) +
+                   "\" does not support a data cache; \"dcaches\" entries "
+                   "other than null need kinds = [\"spta\"]",
+               "dcaches");
+    if (wants(AnalysisKind::kSlack))
+      for (std::size_t i = 0; i < spec.mechanisms.size(); ++i)
+        if (spec.mechanisms[i] == Mechanism::kNone)
+          fail(source_, root.line,
+               "kind \"slack\" measures a reliability mechanism's "
+               "conservatism; \"mechanisms\" must contain only \"SRB\" / "
+               "\"RW\"",
+               "mechanisms[" + std::to_string(i) + "]");
 
     return doc;
   }
@@ -559,7 +596,7 @@ class SpecReader {
     expect_type(value, Json::Type::kArray, "an array of task names", "tasks");
     if (value.array.empty())
       fail(source_, value.line, "\"tasks\" must not be empty", "tasks");
-    const std::vector<std::string> known = workloads::names();
+    const std::vector<std::string> known = workloads::all_names();
     std::vector<std::string> tasks;
     tasks.reserve(value.array.size());
     for (std::size_t i = 0; i < value.array.size(); ++i) {
@@ -636,6 +673,67 @@ class SpecReader {
                std::to_string(kInstructionBytes) + " (the instruction size)",
            path + ".line_bytes");
     return config;
+  }
+
+  /// The data-cache axis: each entry is `null` (data cache off, the
+  /// default analysis) or a geometry object.
+  std::vector<DcacheAxis> read_dcaches(const Json& value) {
+    expect_type(value, Json::Type::kArray,
+                "an array of null (off) or geometry objects", "dcaches");
+    if (value.array.empty())
+      fail(source_, value.line, "\"dcaches\" must not be empty", "dcaches");
+    std::vector<DcacheAxis> out;
+    out.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i) {
+      const std::string path = "dcaches[" + std::to_string(i) + "]";
+      const Json& entry = value.array[i];
+      DcacheAxis axis;
+      if (entry.type == Json::Type::kNull) {
+        out.push_back(axis);  // disabled
+        continue;
+      }
+      if (entry.type != Json::Type::kObject)
+        fail(source_, entry.line,
+             std::string("expected null (data cache off) or a geometry "
+                         "object, got ") +
+                 entry.type_name(),
+             path);
+      axis.enabled = true;
+      axis.geometry = read_geometry(entry, path);
+      out.push_back(axis);
+    }
+    return out;
+  }
+
+  std::vector<std::size_t> read_sample_counts(const Json& value) {
+    expect_type(value, Json::Type::kArray, "an array of sample counts",
+                "sample_counts");
+    if (value.array.empty())
+      fail(source_, value.line, "\"sample_counts\" must not be empty",
+           "sample_counts");
+    std::vector<std::size_t> out;
+    out.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i) {
+      const std::string path = "sample_counts[" + std::to_string(i) + "]";
+      out.push_back(static_cast<std::size_t>(as_u64(value.array[i], path)));
+    }
+    return out;
+  }
+
+  std::vector<Probability> read_ccdf_exceedances(const Json& value) {
+    expect_type(value, Json::Type::kArray,
+                "an array of exceedance probabilities", "ccdf_exceedances");
+    std::vector<Probability> out;
+    out.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i) {
+      const std::string path = "ccdf_exceedances[" + std::to_string(i) + "]";
+      const double p = as_number(value.array[i], path);
+      if (!(p > 0.0 && p <= 1.0))
+        fail(source_, value.array[i].line,
+             "exceedance probability must be in (0, 1]", path);
+      out.push_back(p);
+    }
+    return out;
   }
 
   std::vector<Probability> read_pfails(const Json& value) {
@@ -807,25 +905,34 @@ std::string spec_to_json(const CampaignSpec& spec, const std::string& name,
     out += '\n';
   };
 
+  const auto geometry_json = [](const CacheConfig& g) {
+    return "{\"sets\": " + std::to_string(g.sets) +
+           ", \"ways\": " + std::to_string(g.ways) +
+           ", \"line_bytes\": " + std::to_string(g.line_bytes) +
+           ", \"hit_latency\": " + std::to_string(g.hit_latency) +
+           ", \"miss_penalty\": " + std::to_string(g.miss_penalty) + "}";
+  };
+
   if (!name.empty()) field("name", json_quote(name));
   if (!notes.empty()) field("notes", json_quote(notes));
   field("tasks", json_array(spec.tasks, json_quote));
   std::string geometries = "[\n";
   for (std::size_t i = 0; i < spec.geometries.size(); ++i) {
-    const CacheConfig& g = spec.geometries[i];
-    geometries += "    {\"sets\": " + std::to_string(g.sets) +
-                  ", \"ways\": " + std::to_string(g.ways) +
-                  ", \"line_bytes\": " + std::to_string(g.line_bytes) +
-                  ", \"hit_latency\": " + std::to_string(g.hit_latency) +
-                  ", \"miss_penalty\": " + std::to_string(g.miss_penalty) +
-                  "}";
+    geometries += "    " + geometry_json(spec.geometries[i]);
     geometries += i + 1 < spec.geometries.size() ? ",\n" : "\n";
   }
   geometries += "  ]";
   field("geometries", geometries);
+  field("dcaches", json_array(spec.dcaches, [&](const DcacheAxis& d) {
+          return d.enabled ? geometry_json(d.geometry) : std::string("null");
+        }));
   field("pfails", json_array(spec.pfails, fmt_shortest_exact));
   field("mechanisms", json_array(spec.mechanisms, [](Mechanism m) {
           return json_quote(mechanism_name(m));
+        }));
+  field("dcache_mechanisms",
+        json_array(spec.dcache_mechanisms, [](DcacheMechanism m) {
+          return json_quote(dcache_mechanism_name(m));
         }));
   field("engines", json_array(spec.engines, [](WcetEngine e) {
           return json_quote(engine_name(e));
@@ -833,7 +940,13 @@ std::string spec_to_json(const CampaignSpec& spec, const std::string& name,
   field("kinds", json_array(spec.kinds, [](AnalysisKind k) {
           return json_quote(analysis_kind_name(k));
         }));
+  field("sample_counts",
+        json_array(spec.sample_counts, [](std::size_t n) {
+          return std::to_string(n);
+        }));
   field("target_exceedance", fmt_shortest_exact(spec.target_exceedance));
+  field("ccdf_exceedances",
+        json_array(spec.ccdf_exceedances, fmt_shortest_exact));
   field("max_distribution_points",
         std::to_string(spec.max_distribution_points));
   field("mbpta", "{\"chips\": " + std::to_string(spec.mbpta.chips) +

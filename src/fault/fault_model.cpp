@@ -4,17 +4,9 @@
 
 namespace pwcet {
 
-std::string mechanism_name(Mechanism m) {
-  switch (m) {
-    case Mechanism::kNone:
-      return "none";
-    case Mechanism::kReliableWay:
-      return "RW";
-    case Mechanism::kSharedReliableBuffer:
-      return "SRB";
-  }
-  return "?";
-}
+// mechanism_name() is defined in engine/names.cpp: all axis-value
+// spellings live in one registry so a new value cannot be added
+// inconsistently across reports, spec parsing and the CLI.
 
 Probability FaultModel::block_failure_probability(
     const CacheConfig& config) const {

@@ -22,7 +22,17 @@ namespace pwcet::workloads {
 /// All 25 benchmark names, in the display order used by the Fig. 4 bench.
 std::vector<std::string> names();
 
-/// Builds one benchmark by name; aborts on unknown names.
+/// Extension-kernel names (data-cache study, paper §VI future work): not
+/// part of the 25-benchmark suite, but valid campaign tasks. Their blocks
+/// record data load addresses for the combined I+D analyzer.
+std::vector<std::string> extension_names();
+
+/// names() + extension_names() — every name build() accepts (the set the
+/// spec loader validates "tasks" against).
+std::vector<std::string> all_names();
+
+/// Builds one benchmark or extension kernel by name; aborts on unknown
+/// names.
 Program build(const std::string& name);
 
 /// Builds the full suite in display order.

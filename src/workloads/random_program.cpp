@@ -42,9 +42,15 @@ class Generator {
 
  private:
   StmtId code(ProgramBuilder& b) {
-    return b.code(kInstrPerLine *
-                  (1 + static_cast<std::uint32_t>(
-                           rng_.next_below(params_.max_code_lines))));
+    const std::uint32_t instrs =
+        kInstrPerLine * (1 + static_cast<std::uint32_t>(
+                                 rng_.next_below(params_.max_code_lines)));
+    if (params_.max_data_loads == 0) return b.code(instrs);
+    std::vector<Address> loads;
+    const std::uint64_t n = rng_.next_below(params_.max_data_loads + 1);
+    for (std::uint64_t i = 0; i < n; ++i)
+      loads.push_back(0x8000 + 4 * rng_.next_below(params_.data_pool_words));
+    return b.code_with_loads(instrs, std::move(loads));
   }
 
   StmtId stmt(ProgramBuilder& b, std::uint32_t depth) {

@@ -24,6 +24,15 @@ struct RandomProgramParams {
   /// Hard cap on the worst-case fetch count; generation retries until the
   /// program fits (keeps simulation-based property tests fast).
   std::uint64_t max_heavy_fetches = 300000;
+  /// Data loads per straight-line chunk (0 = none, the default — programs
+  /// and RNG streams are then identical to earlier releases). Non-zero
+  /// makes every chunk draw up to this many loads from a small address
+  /// pool, exercising the data-cache analysis path
+  /// (dcache/dcache_analysis.hpp) in property tests.
+  std::uint32_t max_data_loads = 0;
+  /// Size of the data address pool, in 4-byte words; small pools force
+  /// line sharing and set conflicts in tiny data caches.
+  std::uint32_t data_pool_words = 64;
 };
 
 /// Generates a random task. Deterministic in (rng state, params).

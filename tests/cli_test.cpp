@@ -240,9 +240,47 @@ TEST_F(CliTest, DescribeExpandsTheGridWithoutRunning) {
 TEST_F(CliTest, ListNamesEveryAxisValue) {
   const CliResult result = run_cli({"list"});
   EXPECT_EQ(result.code, 0);
-  for (const char* needle : {"adpcm", "statemate", "none", "RW", "SRB", "ilp",
-                             "tree", "spta", "mbpta", "sim"})
+  for (const char* needle :
+       {"adpcm", "statemate", "interp", "dispatch", "none", "RW", "SRB",
+        "same", "ilp", "tree", "spta", "mbpta", "sim", "slack"})
     EXPECT_NE(result.out.find(needle), std::string::npos) << needle;
+}
+
+// ---- distribution sink -----------------------------------------------------
+
+TEST_F(CliTest, DistributionFormatsAndFilesMatchTheProgrammaticApi) {
+  const std::string spec_path = write_file("dist.json", R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none", "SRB"],
+    "ccdf_exceedances": [1e-3, 1e-9, 1e-15]
+  })");
+  const SpecDocument doc = load_spec(spec_path);
+  const CampaignResult reference = run_campaign(doc.spec, RunnerOptions{});
+
+  CliResult result = run_cli({"run", spec_path, "--format", "dist-csv"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out, report_dist_csv(reference));
+
+  result = run_cli({"run", spec_path, "--format", "dist-jsonl"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out, report_dist_jsonl(reference));
+
+  // --output additionally writes the .dist pair.
+  const std::string base = (fs::path(dir_) / "dist_report").string();
+  result = run_cli({"run", spec_path, "--output", base});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(read_file(base + ".csv"), report_csv(reference));
+  EXPECT_EQ(read_file(base + ".dist.csv"), report_dist_csv(reference));
+  EXPECT_EQ(read_file(base + ".dist.jsonl"), report_dist_jsonl(reference));
+
+  // A dist format on a spec without a distribution sink is a user error.
+  const std::string scalar = tiny_spec_path();
+  result = run_cli({"run", scalar, "--format", "dist-csv"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("ccdf_exceedances"), std::string::npos)
+      << result.err;
 }
 
 // ---- cache -----------------------------------------------------------------

@@ -169,6 +169,103 @@ TEST(Campaign, SeedsAreUniqueAndKeyedByValues) {
 TEST(Campaign, JobIdNamesEveryAxis) {
   const auto jobs = expand_campaign(small_spec());
   EXPECT_EQ(jobs[0].id(), "fibcall/16x4x16B/1.0e-04/none/ilp/spta");
+
+  // Non-default extension axes append suffixes; default cells keep the
+  // historic id above.
+  CampaignSpec spec = small_spec();
+  DcacheAxis dcache;
+  dcache.enabled = true;
+  dcache.geometry.sets = 8;
+  spec.dcaches = {dcache};
+  spec.dcache_mechanisms = {DcacheMechanism::kSharedReliableBuffer};
+  const auto dcache_jobs = expand_campaign(spec);
+  EXPECT_EQ(dcache_jobs[0].id(),
+            "fibcall/16x4x16B/1.0e-04/none/ilp/spta/D8x4x16B/SRB");
+
+  CampaignSpec sampled = small_spec();
+  sampled.kinds = {AnalysisKind::kSimulation};
+  sampled.sample_counts = {200};
+  EXPECT_EQ(expand_campaign(sampled)[0].id(),
+            "fibcall/16x4x16B/1.0e-04/none/ilp/sim/n200");
+}
+
+TEST(Campaign, NewAxesExpandInnermostAndKeepSeedsStable) {
+  // The extension axes (dcaches, dcache_mechanisms, sample_counts) expand
+  // innermost, so adding them to a spec leaves the relative order of the
+  // pre-existing cells unchanged; and seeds stay keyed by axis *values*:
+  // widening any new axis must not reseed pre-existing cells.
+  CampaignSpec spec = small_spec();
+  DcacheAxis dcache;
+  dcache.enabled = true;
+  dcache.geometry.sets = 8;
+  spec.dcaches = {dcache};
+  spec.dcache_mechanisms = {DcacheMechanism::kNone,
+                            DcacheMechanism::kReliableWay};
+  spec.sample_counts = {0, 100};
+  const auto jobs = expand_campaign(spec);
+  ASSERT_EQ(jobs.size(), spec.job_count());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CampaignJob& job = jobs[i];
+    EXPECT_EQ(campaign_job_index(spec, job.task_i, job.geometry_i,
+                                 job.pfail_i, job.mechanism_i, job.engine_i,
+                                 job.kind_i, job.dcache_i, job.dmech_i,
+                                 job.samples_i),
+              i);
+  }
+  // samples is the innermost axis.
+  EXPECT_EQ(jobs[0].samples_i, 0u);
+  EXPECT_EQ(jobs[1].samples_i, 1u);
+
+  std::set<std::uint64_t> seeds;
+  for (const CampaignJob& job : jobs) seeds.insert(job.seed);
+  EXPECT_EQ(seeds.size(), jobs.size());
+
+  CampaignSpec wider = spec;
+  wider.sample_counts.push_back(500);
+  const auto wider_jobs = expand_campaign(wider);
+  for (const CampaignJob& job : jobs) {
+    const CampaignJob& same = wider_jobs[campaign_job_index(
+        wider, job.task_i, job.geometry_i, job.pfail_i, job.mechanism_i,
+        job.engine_i, job.kind_i, job.dcache_i, job.dmech_i,
+        job.samples_i)];
+    EXPECT_EQ(job.seed, same.seed) << job.id();
+  }
+}
+
+TEST(Campaign, IgnoredAxisValuesDoNotPerturbSeeds) {
+  // Seeds derive only from axis values the cell actually consumes
+  // (mirroring id()'s suffix rule). Consequences: cells identical in
+  // every meaningful axis share a seed even when an *ignored* axis value
+  // differs, and campaigns written before the extension axes existed
+  // keep their published seeds.
+  const CampaignSpec historic = small_spec();
+  const auto historic_jobs = expand_campaign(historic);
+
+  // A dcache mechanism without a data cache is ignored: same seed.
+  CampaignSpec with_dmech = historic;
+  with_dmech.dcache_mechanisms = {DcacheMechanism::kSharedReliableBuffer};
+  EXPECT_EQ(expand_campaign(with_dmech)[0].seed, historic_jobs[0].seed);
+
+  // Two pairings resolving to the same data-cache mechanism are the same
+  // computation: same seed.
+  CampaignSpec resolved = historic;
+  DcacheAxis dcache;
+  dcache.enabled = true;
+  dcache.geometry.sets = 8;
+  resolved.dcaches = {dcache};
+  resolved.mechanisms = {Mechanism::kSharedReliableBuffer};
+  resolved.dcache_mechanisms = {DcacheMechanism::kSame,
+                                DcacheMechanism::kSharedReliableBuffer};
+  const auto resolved_jobs = expand_campaign(resolved);
+  EXPECT_EQ(resolved_jobs[0].seed, resolved_jobs[1].seed);
+
+  // A default sample count (0 = spec-level populations) derives through
+  // the historic chain; an explicit one reseeds.
+  CampaignSpec sampled = historic;
+  sampled.sample_counts = {0, 100};
+  const auto sampled_jobs = expand_campaign(sampled);
+  EXPECT_EQ(sampled_jobs[0].seed, historic_jobs[0].seed);
+  EXPECT_NE(sampled_jobs[1].seed, historic_jobs[0].seed);
 }
 
 TEST(Runner, TwoThreadRunIsByteIdenticalToOneThread) {

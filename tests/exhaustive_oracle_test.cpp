@@ -3,6 +3,14 @@
 // the exact worst-case behaviour by brute force, and check the analysis
 // from above. This removes any reliance on sampling in the soundness
 // argument for the small regime.
+//
+// The RandomOracle suite extends the argument property-based: a seeded
+// sweep over randomized small programs x cache geometries x pfail x
+// mechanism, asserting that the analytic SPTA pWCET distribution
+// stochastically dominates the exhaustive fault-enumeration distribution
+// (the TRUE worst case per fault pattern, maximized over every path by
+// simulation) at every probability point — for the instruction cache and
+// for the combined I+D path.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -11,11 +19,14 @@
 
 #include "cache/references.hpp"
 #include "core/pwcet_analyzer.hpp"
+#include "dcache/dcache_analysis.hpp"
 #include "sim/cache_sim.hpp"
 #include "sim/path.hpp"
+#include "support/rng.hpp"
 #include "wcet/cost_model.hpp"
 #include "wcet/fmm.hpp"
 #include "wcet/tree_engine.hpp"
+#include "workloads/random_program.hpp"
 
 namespace pwcet {
 namespace {
@@ -204,6 +215,229 @@ TEST(ExhaustiveOracle, ExactPenaltyDistributionDominated) {
   const auto exact = DiscreteDistribution::from_atoms(atoms);
   EXPECT_TRUE(result.penalty.dominates(exact, 1e-9));
 }
+
+// ---------------------------------------------------------------------------
+// Property-based soundness: randomized programs against the exhaustive
+// fault-enumeration oracle.
+// ---------------------------------------------------------------------------
+
+/// Generation parameters small enough that full path x fault-map
+/// enumeration stays cheap (tiny nesting, tiny loop bounds).
+workloads::RandomProgramParams oracle_params(bool with_data_loads) {
+  workloads::RandomProgramParams params;
+  params.max_depth = 4;
+  params.max_children = 3;
+  params.max_code_lines = 4;
+  params.max_loop_bound = 2;
+  params.max_functions = 2;
+  params.max_heavy_fetches = 4000;
+  if (with_data_loads) {
+    params.max_data_loads = 3;
+    params.data_pool_words = 16;  // force line sharing in a tiny dcache
+  }
+  return params;
+}
+
+/// Exhaustive path set, bounded on both sides: degenerate programs (a
+/// straight line has nothing to maximize over) and path-count explosions
+/// are both replaced by the next attempt (deterministically), keeping the
+/// sweep cheap while guaranteeing every checked program has real branch /
+/// loop structure.
+Program oracle_program(std::uint64_t seed, bool with_data_loads,
+                       std::vector<std::vector<BlockId>>& paths) {
+  const workloads::RandomProgramParams params =
+      oracle_params(with_data_loads);
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    Rng rng(Rng::derive_seed(seed, attempt));
+    Program p = workloads::random_program(rng, params);
+    paths = paths_of(p, p.tree_root());
+    if (paths.size() >= 8 && paths.size() <= 512 &&
+        heavy_walk_fetch_count(p) >= 50)
+      return p;
+  }
+}
+
+/// P[map] under independent per-block failures with probability pbf. For
+/// the RW the hardened way 0 cannot fail: maps touching it have
+/// probability zero and are skipped by the caller; the remaining blocks
+/// count sets x (ways - 1).
+double map_probability(const FaultMap& map, const CacheConfig& c,
+                       Mechanism mech, double pbf) {
+  std::uint32_t faulty = 0;
+  for (SetIndex s = 0; s < c.sets; ++s) faulty += map.faulty_count(s);
+  const std::uint32_t blocks =
+      mech == Mechanism::kReliableWay ? c.sets * (c.ways - 1)
+                                      : c.sets * c.ways;
+  return std::pow(pbf, faulty) * std::pow(1.0 - pbf, blocks - faulty);
+}
+
+bool touches_hardened_way(const FaultMap& map, const CacheConfig& c) {
+  for (SetIndex s = 0; s < c.sets; ++s)
+    if (map.is_faulty(s, 0)) return true;
+  return false;
+}
+
+class RandomOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomOracleTest, IcachePwcetDominatesExhaustiveDistribution) {
+  std::vector<std::vector<BlockId>> paths;
+  const Program p =
+      oracle_program(0x1ce00000 + static_cast<std::uint64_t>(GetParam()),
+                     /*with_data_loads=*/false, paths);
+  const CacheConfig c = tiny_cache();
+  PwcetOptions options;
+  options.engine = WcetEngine::kTree;
+  options.max_distribution_points = 64;  // visible coalescing
+  const PwcetAnalyzer analyzer(p, c, options);
+
+  std::vector<std::vector<Address>> traces;
+  traces.reserve(paths.size());
+  for (const auto& path : paths)
+    traces.push_back(fetch_trace(p.cfg(), path));
+
+  const std::vector<FaultMap> maps = all_fault_maps(c);
+  for (const Mechanism mech :
+       {Mechanism::kNone, Mechanism::kReliableWay,
+        Mechanism::kSharedReliableBuffer}) {
+    // TRUE worst case per fault pattern: maximize the simulator over every
+    // structurally valid path (pfail-independent; shared across pfails).
+    std::vector<double> worst(maps.size(), 0.0);
+    for (std::size_t m = 0; m < maps.size(); ++m) {
+      if (mech == Mechanism::kReliableWay && touches_hardened_way(maps[m], c))
+        continue;  // hardened cells cannot fail: zero-probability pattern
+      for (const auto& trace : traces)
+        worst[m] = std::max(
+            worst[m], static_cast<double>(
+                          simulate_trace(c, maps[m], mech, trace).cycles));
+    }
+
+    for (const double pfail : {0.01, 0.25}) {
+      const FaultModel faults(pfail);
+      const double pbf = faults.block_failure_probability(c);
+      std::vector<ProbabilityAtom> atoms;
+      for (std::size_t m = 0; m < maps.size(); ++m) {
+        if (mech == Mechanism::kReliableWay &&
+            touches_hardened_way(maps[m], c))
+          continue;
+        atoms.push_back({static_cast<Cycles>(worst[m]),
+                         map_probability(maps[m], c, mech, pbf)});
+      }
+      const DiscreteDistribution exact =
+          DiscreteDistribution::from_atoms(atoms);
+
+      const PwcetResult result = analyzer.analyze(faults, mech);
+      const DiscreteDistribution analytic =
+          result.penalty.shift(result.fault_free_wcet);
+      EXPECT_TRUE(analytic.dominates(exact, 1e-9))
+          << "mech=" << mechanism_name(mech) << " pfail=" << pfail
+          << " paths=" << paths.size();
+    }
+  }
+}
+
+TEST_P(RandomOracleTest, DcachePwcetDominatesExhaustiveDistribution) {
+  std::vector<std::vector<BlockId>> paths;
+  const Program p =
+      oracle_program(0xdada0000 + static_cast<std::uint64_t>(GetParam()),
+                     /*with_data_loads=*/true, paths);
+  const CacheConfig ic = tiny_cache();
+  CacheConfig dc;
+  dc.sets = 2;
+  dc.ways = 1;  // 4 fault patterns; RW degenerates to "never fails"
+  dc.line_bytes = 8;
+
+  PwcetOptions options;
+  options.engine = WcetEngine::kTree;
+  options.max_distribution_points = 64;
+  const CombinedPwcetAnalyzer analyzer(p, ic, dc, options);
+
+  // Per-path traces: instruction fetches and data loads.
+  std::vector<std::vector<Address>> itraces;
+  std::vector<std::vector<Address>> dtraces;
+  itraces.reserve(paths.size());
+  dtraces.reserve(paths.size());
+  for (const auto& path : paths) {
+    itraces.push_back(fetch_trace(p.cfg(), path));
+    std::vector<Address> loads;
+    for (const BlockId blk : path) {
+      const auto& data = p.cfg().block(blk).data_addresses;
+      loads.insert(loads.end(), data.begin(), data.end());
+    }
+    dtraces.push_back(std::move(loads));
+  }
+
+  const std::vector<FaultMap> imaps = all_fault_maps(ic);
+  const std::vector<FaultMap> dmaps = all_fault_maps(dc);
+
+  // The four deployments of the E8 table: (imech, dmech).
+  const std::pair<Mechanism, Mechanism> deployments[] = {
+      {Mechanism::kNone, Mechanism::kNone},
+      {Mechanism::kSharedReliableBuffer, Mechanism::kSharedReliableBuffer},
+      {Mechanism::kReliableWay, Mechanism::kSharedReliableBuffer},
+      {Mechanism::kReliableWay, Mechanism::kReliableWay},
+  };
+  const double pfail = 0.05;
+  const FaultModel faults(pfail);
+  const double ipbf = faults.block_failure_probability(ic);
+  const double dpbf = faults.block_failure_probability(dc);
+
+  for (const auto& [imech, dmech] : deployments) {
+    // Precompute per (path, map) pieces, then combine: the exact time of a
+    // chip on a path is icache cycles + dcache misses * miss penalty
+    // (loads execute inside already-charged instruction fetches; only
+    // their miss penalties add — dcache/dcache_analysis.hpp).
+    std::vector<std::vector<double>> icycles(
+        paths.size(), std::vector<double>(imaps.size(), 0.0));
+    std::vector<std::vector<double>> dpenalty(
+        paths.size(), std::vector<double>(dmaps.size(), 0.0));
+    for (std::size_t t = 0; t < paths.size(); ++t) {
+      for (std::size_t m = 0; m < imaps.size(); ++m) {
+        if (imech == Mechanism::kReliableWay &&
+            touches_hardened_way(imaps[m], ic))
+          continue;
+        icycles[t][m] = static_cast<double>(
+            simulate_trace(ic, imaps[m], imech, itraces[t]).cycles);
+      }
+      for (std::size_t m = 0; m < dmaps.size(); ++m) {
+        if (dmech == Mechanism::kReliableWay &&
+            touches_hardened_way(dmaps[m], dc))
+          continue;
+        CacheSimulator sim(dc, dmaps[m], dmech);
+        for (const Address a : dtraces[t]) sim.fetch(a);
+        dpenalty[t][m] = static_cast<double>(sim.stats().misses) *
+                         static_cast<double>(dc.miss_penalty);
+      }
+    }
+
+    std::vector<ProbabilityAtom> atoms;
+    for (std::size_t im = 0; im < imaps.size(); ++im) {
+      if (imech == Mechanism::kReliableWay &&
+          touches_hardened_way(imaps[im], ic))
+        continue;
+      for (std::size_t dm = 0; dm < dmaps.size(); ++dm) {
+        if (dmech == Mechanism::kReliableWay &&
+            touches_hardened_way(dmaps[dm], dc))
+          continue;
+        double worst = 0.0;  // true worst over paths of the SUM
+        for (std::size_t t = 0; t < paths.size(); ++t)
+          worst = std::max(worst, icycles[t][im] + dpenalty[t][dm]);
+        atoms.push_back({static_cast<Cycles>(worst),
+                         map_probability(imaps[im], ic, imech, ipbf) *
+                             map_probability(dmaps[dm], dc, dmech, dpbf)});
+      }
+    }
+    const DiscreteDistribution exact = DiscreteDistribution::from_atoms(atoms);
+
+    const PwcetResult result = analyzer.analyze_mixed(faults, imech, dmech);
+    const DiscreteDistribution analytic =
+        result.penalty.shift(result.fault_free_wcet);
+    EXPECT_TRUE(analytic.dominates(exact, 1e-9))
+        << "imech=" << mechanism_name(imech)
+        << " dmech=" << mechanism_name(dmech) << " paths=" << paths.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOracleTest, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace pwcet

@@ -10,11 +10,13 @@
 //    field (and its line), never with an abort.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
 #include "engine/campaign.hpp"
 #include "engine/spec_io.hpp"
+#include "workloads/malardalen.hpp"
 
 #ifndef PWCET_SPECS_DIR
 #define PWCET_SPECS_DIR "specs"
@@ -105,6 +107,11 @@ TEST(SpecIo, RoundTripPreservesEveryKeyedField) {
   spec.engines = {WcetEngine::kTree, WcetEngine::kIlp};
   spec.kinds = {AnalysisKind::kMbpta, AnalysisKind::kSpta,
                 AnalysisKind::kSimulation};
+  spec.dcache_mechanisms = {DcacheMechanism::kSame, DcacheMechanism::kNone,
+                            DcacheMechanism::kReliableWay,
+                            DcacheMechanism::kSharedReliableBuffer};
+  spec.sample_counts = {0, 64, 4000};
+  spec.ccdf_exceedances = {1.0, 1e-3, 1e-16};
   spec.target_exceedance = 1e-12;
   spec.max_distribution_points = 512;
   spec.mbpta.chips = 128;
@@ -125,6 +132,35 @@ TEST(SpecIo, RoundTripPreservesEveryKeyedField) {
 
   // Second generation must be textually stable (canonical form).
   EXPECT_EQ(spec_to_json(doc.spec, doc.name, doc.notes), json);
+}
+
+TEST(SpecIo, DcacheAxisRoundTripsThroughTheSerializer) {
+  CampaignSpec spec;
+  spec.tasks = {"interp", "dispatch"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kReliableWay};
+  DcacheAxis off;
+  DcacheAxis on;
+  on.enabled = true;
+  on.geometry.sets = 8;
+  on.geometry.ways = 2;
+  on.geometry.line_bytes = 32;
+  on.geometry.miss_penalty = 25;
+  spec.dcaches = {off, on};
+  spec.dcache_mechanisms = {DcacheMechanism::kSame,
+                            DcacheMechanism::kSharedReliableBuffer};
+
+  const std::string json = spec_to_json(spec);
+  const SpecDocument doc = parse_spec(json, "<dcache-round-trip>");
+  ASSERT_EQ(doc.spec.dcaches.size(), 2u);
+  EXPECT_FALSE(doc.spec.dcaches[0].enabled);
+  ASSERT_TRUE(doc.spec.dcaches[1].enabled);
+  EXPECT_EQ(doc.spec.dcaches[1].geometry.sets, 8u);
+  EXPECT_EQ(doc.spec.dcaches[1].geometry.miss_penalty, 25);
+  EXPECT_EQ(doc.spec.dcache_mechanisms, spec.dcache_mechanisms);
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+  EXPECT_EQ(spec_to_json(doc.spec), json);
 }
 
 TEST(SpecIo, SeedsAboveDoublePrecisionSurviveAsStrings) {
@@ -212,10 +248,80 @@ TEST(ShippedSpecs, ArchitectureTradeoffMatchesProgrammaticCampaign) {
   EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
 }
 
+TEST(ShippedSpecs, CcdfMatchesProgrammaticCampaign) {
+  // The exact campaign bench/fig3_ccdf.cpp used to build in C++ — the
+  // decade grid 1e0..1e-16 of the paper's Fig. 3 y-axis is now the
+  // distribution sink.
+  CampaignSpec spec;
+  spec.tasks = {"adpcm"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.target_exceedance = 1e-15;
+  for (int decade = 0; decade >= -16; --decade)
+    spec.ccdf_exceedances.push_back(std::pow(10.0, decade));
+
+  const SpecDocument doc = load_spec(shipped("ccdf.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, NormalizedPwcetCoversTheWholeSuite) {
+  // The exact campaign bench/fig4_normalized_pwcet.cpp used to build:
+  // every benchmark of the 25-task suite, in display order.
+  CampaignSpec spec;
+  spec.tasks = workloads::names();
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.target_exceedance = 1e-15;
+
+  const SpecDocument doc = load_spec(shipped("normalized_pwcet.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, DcacheExtensionMatchesProgrammaticCampaign) {
+  // The exact deployments bench/tab_dcache_extension.cpp used to build in
+  // C++ (E8: split 1 KB I / 512 B D cache, uniform + mixed mechanisms).
+  CampaignSpec spec;
+  spec.tasks = {"interp", "dispatch"};
+  spec.geometries = {CacheConfig::paper_default()};
+  DcacheAxis dcache;
+  dcache.enabled = true;
+  dcache.geometry.sets = 8;
+  spec.dcaches = {dcache};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.dcache_mechanisms = {DcacheMechanism::kSame,
+                            DcacheMechanism::kSharedReliableBuffer};
+  spec.target_exceedance = 1e-15;
+
+  const SpecDocument doc = load_spec(shipped("dcache_extension.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, SrbConservatismMatchesProgrammaticCampaign) {
+  // The exact sweep bench/tab_srb_conservatism.cpp used to run in C++
+  // (E5), now as slack jobs with the SRB/RW pairing.
+  CampaignSpec spec;
+  spec.tasks = workloads::names();
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.kinds = {AnalysisKind::kSlack};
+
+  const SpecDocument doc = load_spec(shipped("srb_conservatism.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
 TEST(ShippedSpecs, EverySpecRoundTripsThroughTheSerializer) {
   for (const char* name :
        {"geometry_sweep.json", "pfail_sweep.json", "mbpta_vs_spta.json",
-        "architecture_tradeoff.json"}) {
+        "architecture_tradeoff.json", "ccdf.json", "normalized_pwcet.json",
+        "dcache_extension.json", "srb_conservatism.json"}) {
     const SpecDocument doc = load_spec(shipped(name));
     const SpecDocument again =
         parse_spec(spec_to_json(doc.spec, doc.name, doc.notes), name);
@@ -360,6 +466,81 @@ TEST(SpecIoErrors, MbptaPopulationConstraintIsExplained) {
   })",
                   {"mbpta.chips must be at least 2 * mbpta.block_size",
                    "field \"mbpta.chips\""});
+}
+
+TEST(SpecIoErrors, DcacheEntriesMustBeNullOrGeometry) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "dcaches": ["off"],
+    "pfails": [1e-4],
+    "mechanisms": ["none"]
+  })",
+                  {"expected null (data cache off) or a geometry object",
+                   "field \"dcaches[0]\""});
+}
+
+TEST(SpecIoErrors, DcacheNeedsSptaKinds) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "dcaches": [{"sets": 8, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "kinds": ["spta", "sim"]
+  })",
+                  {"kind \"sim\" does not support a data cache",
+                   "field \"dcaches\""});
+}
+
+TEST(SpecIoErrors, UnknownDcacheMechanismListsValidValues) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "dcache_mechanisms": ["mirror"]
+  })",
+                  {"unknown dcache mechanism \"mirror\"",
+                   "valid values: same, none, RW, SRB",
+                   "field \"dcache_mechanisms[0]\""});
+}
+
+TEST(SpecIoErrors, SlackKindRejectsUnprotectedMechanism) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["SRB", "none"],
+    "kinds": ["slack"]
+  })",
+                  {"kind \"slack\"", "field \"mechanisms[1]\""});
+}
+
+TEST(SpecIoErrors, MbptaSampleCountConstraintIsExplained) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "kinds": ["mbpta"],
+    "sample_counts": [0, 10]
+  })",
+                  {"sample_counts entries must be at least 2 * "
+                   "mbpta.block_size",
+                   "field \"sample_counts[1]\""});
+}
+
+TEST(SpecIoErrors, CcdfExceedanceRangeIsEnforced) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "ccdf_exceedances": [1e-6, 0]
+  })",
+                  {"exceedance probability must be in (0, 1]",
+                   "field \"ccdf_exceedances[1]\""});
 }
 
 TEST(SpecIoErrors, SyntaxErrorsCarryLineNumbers) {

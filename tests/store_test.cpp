@@ -440,6 +440,60 @@ TEST(StoreIdentity, GroupKeyIsContentDerived) {
   EXPECT_NE(campaign_spec_key(spec), campaign_spec_key(wider));
   EXPECT_EQ(campaign_spec_key(identity_spec()),
             campaign_spec_key(identity_spec()));
+
+  // A job with the data cache enabled must land in a different analyzer
+  // group: the combined analyzer's memoized core depends on the dcache
+  // geometry.
+  CampaignJob with_dcache = *first;
+  with_dcache.dcache.enabled = true;
+  with_dcache.dcache.geometry.sets = 8;
+  EXPECT_NE(campaign_group_key(*first), campaign_group_key(with_dcache));
+}
+
+TEST(StoreIdentity, SpecKeyHashesEveryNewAxisAndIsPinned) {
+  CampaignSpec spec;
+  spec.tasks = {"fibcall"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone};
+  // Golden value: persisted campaign-report artifacts are addressed by
+  // this hash; any accidental change to the spec-key schema (or to the
+  // fibcall workload's structural content) fails here and demands an
+  // ArtifactStore::kFormatVersion review.
+  EXPECT_EQ(campaign_spec_key(spec).hex(),
+            "9fa096dccf353c6351c266adbe530d4f");
+
+  const StoreKey base = campaign_spec_key(spec);
+  {
+    CampaignSpec s = spec;
+    DcacheAxis d;
+    d.enabled = true;
+    d.geometry.sets = 8;
+    s.dcaches.push_back(d);
+    EXPECT_NE(campaign_spec_key(s), base) << "dcaches axis not hashed";
+  }
+  {
+    CampaignSpec s = spec;
+    s.dcache_mechanisms.push_back(DcacheMechanism::kSharedReliableBuffer);
+    EXPECT_NE(campaign_spec_key(s), base)
+        << "dcache_mechanisms axis not hashed";
+  }
+  {
+    CampaignSpec s = spec;
+    s.sample_counts.push_back(100);
+    EXPECT_NE(campaign_spec_key(s), base) << "sample_counts axis not hashed";
+  }
+  {
+    CampaignSpec s = spec;
+    s.ccdf_exceedances = {1e-6};
+    EXPECT_NE(campaign_spec_key(s), base) << "ccdf_exceedances not hashed";
+  }
+  {
+    CampaignSpec s = spec;
+    s.kinds = {AnalysisKind::kSlack};
+    s.mechanisms = {Mechanism::kSharedReliableBuffer};
+    EXPECT_NE(campaign_spec_key(s), base);
+  }
 }
 
 // ---- report escaping (satellite: arbitrary scenario labels) ---------------

@@ -21,6 +21,26 @@ TEST(Workloads, TwentyFiveBenchmarks) {
     EXPECT_TRUE(unique.count(required)) << required;
 }
 
+TEST(Workloads, ExtensionKernelsBuildAndCarryDataLoads) {
+  // The data-cache study kernels live outside the 25-benchmark suite (so
+  // the paper-invariant averages above stay untouched) but must build and
+  // actually exercise the data-reference path.
+  for (const std::string& name : workloads::extension_names()) {
+    const Program p = workloads::build(name);
+    EXPECT_EQ(p.name(), name);
+    p.cfg().validate();
+    std::uint64_t loads = 0;
+    for (const BasicBlock& b : p.cfg().blocks())
+      loads += b.data_addresses.size();
+    EXPECT_GT(loads, 0u) << name << " records no data loads";
+  }
+  const auto all = workloads::all_names();
+  EXPECT_EQ(all.size(), workloads::names().size() +
+                            workloads::extension_names().size());
+  const std::set<std::string> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+}
+
 class WorkloadShapeTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(WorkloadShapeTest, BuildsValidCfg) {
