@@ -9,8 +9,9 @@
 // and the content-addressed store's effect: the same campaign re-run warm
 // on a shared store (memo hit-rate, entries, warm vs cold wall-clock, and
 // byte-identity of the warm report). The campaign numbers are emitted as
-// machine-readable JSON (BENCH_perf_analysis_time.json and stdout) so the
-// perf trajectory can be tracked across PRs.
+// machine-readable JSON (BENCH_perf_analysis_time.json at the repo root,
+// where it is committed, and stdout) so the perf trajectory can be
+// tracked across PRs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -242,7 +243,10 @@ int main(int argc, char** argv) {
 
   bool identical = true;
   if (!list_only) {
-    std::FILE* json = std::fopen("BENCH_perf_analysis_time.json", "w");
+    // Repo root, not cwd: the JSON is committed as the perf trajectory
+    // tracked across PRs (stdout carries the same line for ad-hoc runs).
+    std::FILE* json =
+        std::fopen(PWCET_REPO_ROOT "/BENCH_perf_analysis_time.json", "w");
     identical = run_campaign_scaling(json);
     if (json != nullptr) std::fclose(json);
   }

@@ -1,0 +1,28 @@
+#include "analysis/cache_domain.hpp"
+
+namespace pwcet {
+
+void CacheDomain::mix_core_key(KeyHasher& hasher) const {
+  hasher.mix_key(hash_cache_config(config()));
+}
+
+ClassificationMap CacheDomain::classify(const Program& program,
+                                        const ReferenceMap& refs) const {
+  return classify_fault_free(program.cfg(), refs, config());
+}
+
+FmmBundle CacheDomain::fmm_bundle(const Program& program,
+                                  const ReferenceMap& refs,
+                                  WcetEngine engine, IpetCalculator* ipet,
+                                  ThreadPool* pool, AnalysisStore* store,
+                                  const StoreKey* row_prefix) const {
+  return compute_fmm_bundle(program, config(), refs, engine, ipet, pool,
+                            store, row_prefix);
+}
+
+std::vector<Probability> CacheDomain::pwf(const FaultModel& faults,
+                                          Mechanism mechanism) const {
+  return faults.way_failure_pmf(config(), mechanism);
+}
+
+}  // namespace pwcet

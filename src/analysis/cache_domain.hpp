@@ -1,0 +1,133 @@
+/// \file
+/// CacheDomain — the pluggable unit of the pWCET analysis pipeline.
+///
+/// The paper's analysis is one pipeline: classify a reference stream
+/// against a cache geometry, bound the fault-induced misses per (set,
+/// fault-count) cell (the FMM), weight the rows by the fault model's
+/// faulty-way distribution, and convolve the independent sets into a
+/// penalty distribution. Everything that varies between "the instruction
+/// cache" and "the data cache" — and between those and any future
+/// cache-like structure (shared L2, TLB, scratchpad, per-core split) — is
+/// *which references* are analyzed, *how they cost* into the fault-free
+/// time model, and *which store-key sub-domain* names the memoized
+/// results. A CacheDomain owns exactly those choices; PwcetPipeline
+/// (analysis/pipeline.hpp) owns everything they share.
+///
+/// A domain therefore provides:
+///   * its reference stream (`extract`) and cache geometry (`config`);
+///   * its fault-free classification (`classify`; defaults to the Must/
+///     May/persistence analyses, which apply verbatim to any per-block
+///     ordered line-address stream);
+///   * its contribution to the fault-free time model (`time_cost_model`);
+///   * its FMM bundle (`fmm_bundle`; defaults to the shared per-set delta
+///     maximization of wcet/fmm.hpp);
+///   * its faulty-way weighting (`pwf`; defaults to the fault model's
+///     Eq. 2/3 pmf for its geometry);
+///   * its store-key sub-domain: the contribution it chains into the
+///     pipeline core key (`mix_core_key`) and the prefix under which its
+///     per-set FMM rows are memoized (`row_key_prefix`). Two domains whose
+///     reference streams differ for the same (program, config, engine)
+///     MUST NOT share either — see dcache_domain.hpp for how the shipped
+///     data-cache domain keeps its rows from aliasing instruction rows.
+///
+/// The two shipped plugins are IcacheDomain (analysis/icache_domain.hpp)
+/// and DcacheDomain (analysis/dcache_domain.hpp); a ~100-line subclass is
+/// all a new cache-like scenario needs (tests/analysis_pipeline_test.cpp
+/// registers a synthetic third domain to prove the composition).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "cache/references.hpp"
+#include "cfg/program.hpp"
+#include "fault/fault_model.hpp"
+#include "icache/chmc.hpp"
+#include "store/key.hpp"
+#include "wcet/cost_model.hpp"
+#include "wcet/fmm.hpp"
+
+namespace pwcet {
+
+class AnalysisStore;
+class ThreadPool;
+
+/// One cache-like structure analyzed by the pipeline. Implementations must
+/// be immutable after construction and callable from multiple pool threads
+/// concurrently (every method is a pure function of its arguments and the
+/// construction-time configuration).
+class CacheDomain {
+ public:
+  virtual ~CacheDomain() = default;
+
+  /// Short stable identifier ("icache", "dcache", ...). Used in
+  /// diagnostics and, for compositions beyond the two shipped recipes, in
+  /// the pipeline's chained core key (pipeline.cpp) — so the name must
+  /// never change once results are persisted under it.
+  virtual std::string_view name() const = 0;
+
+  /// The cache geometry this domain analyzes: sets/ways shape the FMM and
+  /// the pwf, miss_penalty prices the per-set penalty atoms.
+  virtual const CacheConfig& config() const = 0;
+
+  /// Whether the domain may *lead* a pipeline (be its first — or only —
+  /// domain). Secondary domains (DcacheDomain) charge only incremental
+  /// miss penalties and rely on a primary domain for the execution-time
+  /// base costs, so composing them alone would be meaningless — and their
+  /// plain-config core-key contribution could alias a primary domain's.
+  virtual bool standalone() const { return true; }
+
+  /// Chains this domain's configuration into the pipeline core key.
+  /// The default mixes the full cache-config hash, which is what both
+  /// shipped recipes ("pwcet-core-v1", "pwcet-dcore-v1") expect — override
+  /// only to mix *additional* distinguishing content (a synthetic domain's
+  /// name, a partition mask, ...), never less.
+  virtual void mix_core_key(KeyHasher& hasher) const;
+
+  /// Store-key prefix under which this domain's per-set FMM rows are
+  /// memoized (chained with the set index; see compute_fmm_bundle). Must
+  /// cover program, config and engine, and must be unique to the domain's
+  /// reference-stream semantics: the shipped instruction domain uses the
+  /// single-cache analyzer-core recipe so both analyzer flavours share
+  /// rows, while the data domain owns a distinct "pwcet-dcache-rows-v1"
+  /// sub-domain (a data reference map must never alias an instruction one
+  /// even when the two cache configs coincide).
+  virtual StoreKey row_key_prefix(const Program& program,
+                                  WcetEngine engine) const = 0;
+
+  /// The domain's reference stream: per-block ordered line references.
+  virtual ReferenceMap extract(const Program& program) const = 0;
+
+  /// Fault-free classification of the domain's references. Default: the
+  /// Must/May/persistence analyses over `config()` (classify_fault_free),
+  /// which are stream-agnostic — they see only lines, sets and order.
+  virtual ClassificationMap classify(const Program& program,
+                                     const ReferenceMap& refs) const;
+
+  /// The domain's contribution to the fault-free time model. Contributions
+  /// of all domains are summed and maximized once (a single IPET/tree pass
+  /// bounds the whole program), so each domain must charge only the cycles
+  /// it owns: the primary domain charges fetch latencies plus its miss
+  /// penalties; secondary domains charge incremental miss penalties only.
+  virtual CostModel time_cost_model(const Program& program,
+                                    const ReferenceMap& refs,
+                                    const ClassificationMap& cls) const = 0;
+
+  /// Per-set fault-miss-map bundle (all three mechanisms). Default: the
+  /// shared delta-maximization machinery (compute_fmm_bundle) with this
+  /// domain's rows memoized under `row_prefix`.
+  virtual FmmBundle fmm_bundle(const Program& program,
+                               const ReferenceMap& refs, WcetEngine engine,
+                               IpetCalculator* ipet, ThreadPool* pool,
+                               AnalysisStore* store,
+                               const StoreKey* row_prefix) const;
+
+  /// Faulty-way weighting pwf(f) for one mechanism deployed on this
+  /// domain. Default: the fault model's per-set pmf over `config()`
+  /// (Eq. 2 for none/SRB, Eq. 3 for RW).
+  virtual std::vector<Probability> pwf(const FaultModel& faults,
+                                       Mechanism mechanism) const;
+};
+
+}  // namespace pwcet

@@ -1,0 +1,24 @@
+#include "analysis/icache_domain.hpp"
+
+namespace pwcet {
+
+StoreKey pwcet_core_key(const Program& program, const CacheConfig& config,
+                        WcetEngine engine) {
+  return KeyHasher("pwcet-core-v1")
+      .mix_key(hash_program(program))
+      .mix_key(hash_cache_config(config))
+      .mix_u64(static_cast<std::uint64_t>(engine))
+      .finish();
+}
+
+ReferenceMap IcacheDomain::extract(const Program& program) const {
+  return extract_references(program.cfg(), config_);
+}
+
+CostModel IcacheDomain::time_cost_model(const Program& program,
+                                        const ReferenceMap& refs,
+                                        const ClassificationMap& cls) const {
+  return build_time_cost_model(program.cfg(), refs, cls, config_);
+}
+
+}  // namespace pwcet

@@ -1,0 +1,275 @@
+#include "analysis/pipeline.hpp"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "analysis/icache_domain.hpp"
+#include "engine/thread_pool.hpp"
+#include "store/analysis_store.hpp"
+#include "support/contracts.hpp"
+#include "wcet/ipet.hpp"
+#include "wcet/tree_engine.hpp"
+
+namespace pwcet {
+namespace {
+
+/// Memo value of the pipeline-core layer: everything expensive the
+/// constructor produces. Cached all-or-nothing so the ILP engine's shared
+/// simplex sees the exact same maximize() sequence on every miss (partial
+/// reuse would perturb LP round-off; see wcet/fmm.hpp).
+struct PipelineCore {
+  Cycles fault_free_wcet = 0;
+  std::vector<FmmBundle> fmms;
+};
+
+/// Adds `other` into `total` term by term. Folding the domains' models
+/// this way reproduces the historical arithmetic exactly: a single-domain
+/// pipeline maximizes the primary model untouched, and a two-domain one
+/// sees the same sums the combined analyzer's sum_models produced.
+void add_cost_model(CostModel& total, const CostModel& other) {
+  for (std::size_t i = 0; i < total.block_cost.size(); ++i)
+    total.block_cost[i] += other.block_cost[i];
+  for (std::size_t i = 0; i < total.loop_entry_cost.size(); ++i)
+    total.loop_entry_cost[i] += other.loop_entry_cost[i];
+  total.root_entry_cost += other.root_entry_cost;
+}
+
+/// The chained core key. Compatibility contract (pipeline.hpp): the two
+/// shipped compositions reproduce the pre-pipeline analyzer recipes bit
+/// for bit so existing memo entries and disk artifacts keep resolving;
+/// any other composition gets its own sub-domain that additionally chains
+/// the domain count and names (two differently-shaped compositions whose
+/// config streams coincide must never alias).
+StoreKey pipeline_core_key(
+    const Program& program,
+    const std::vector<std::shared_ptr<const CacheDomain>>& domains,
+    WcetEngine engine) {
+  // Single icache composition: delegate to the one definition of the
+  // historical "pwcet-core-v1" recipe (analysis/icache_domain.cpp) so
+  // there is no second copy to drift.
+  if (domains.size() == 1 && domains[0]->name() == "icache")
+    return pwcet_core_key(program, domains[0]->config(), engine);
+  const bool legacy_pair = domains.size() == 2 &&
+                           domains[0]->name() == "icache" &&
+                           domains[1]->name() == "dcache";
+  KeyHasher hasher(legacy_pair ? "pwcet-dcore-v1" : "pwcet-ncore-v1");
+  hasher.mix_key(hash_program(program));
+  if (!legacy_pair) {
+    hasher.mix_u64(domains.size());
+    for (const auto& domain : domains) hasher.mix_string(domain->name());
+  }
+  for (const auto& domain : domains) domain->mix_core_key(hasher);
+  hasher.mix_u64(static_cast<std::uint64_t>(engine));
+  return hasher.finish();
+}
+
+}  // namespace
+
+DiscreteDistribution build_penalty_distribution(
+    const FaultMissMap& fmm, const CacheConfig& config,
+    const std::vector<Probability>& pwf, std::size_t max_points,
+    ThreadPool* pool, AnalysisStore* store) {
+  // Per-set penalty distribution: one atom per possible fault count
+  // (paper Fig. 1.b), value = miss_penalty * FMM[s][f].
+  auto build_set_cold = [&](std::size_t s) {
+    std::vector<ProbabilityAtom> atoms;
+    atoms.reserve(pwf.size());
+    for (std::size_t f = 0; f < pwf.size(); ++f) {
+      const double misses = fmm.at(static_cast<SetIndex>(s),
+                                   static_cast<std::uint32_t>(f));
+      const auto penalty = static_cast<Cycles>(
+          std::ceil(misses - 1e-6) * static_cast<double>(config.miss_penalty));
+      atoms.push_back({penalty, pwf[f]});
+    }
+    return DiscreteDistribution::from_atoms(std::move(atoms));
+  };
+
+  // Per-set layer: keyed by the *content* the atoms are built from (FMM
+  // row, pwf, miss penalty), not by set index or task — so the many sets
+  // that share a row (untouched sets, symmetric layouts) build it once,
+  // across mechanisms, geometries with equal rows, domains and tasks.
+  auto build_set = [&](std::size_t s) {
+    if (store == nullptr) return build_set_cold(s);
+    const StoreKey key = KeyHasher("set-penalty-v1")
+                             .mix_i64(config.miss_penalty)
+                             .mix_doubles(pwf)
+                             .mix_doubles(fmm.misses[s])
+                             .finish();
+    return *store->memo().get_or_compute<DiscreteDistribution>(
+        key, [&] { return build_set_cold(s); });
+  };
+
+  // Sets are independent (Fig. 1.b): combine by convolution, pairwise so
+  // the rounds parallelize and the coalescing error stacks O(log S) deep
+  // instead of O(S). Pooled and serial paths produce identical bits.
+  std::vector<DiscreteDistribution> per_set;
+  if (pool != nullptr) {
+    per_set = pool->map_indexed(config.sets, build_set);
+  } else {
+    per_set.reserve(config.sets);
+    for (SetIndex s = 0; s < config.sets; ++s)
+      per_set.push_back(build_set(s));
+  }
+  return convolve_all_tree(per_set, max_points, pool);
+}
+
+PwcetPipeline::PwcetPipeline(
+    const Program& program,
+    std::vector<std::shared_ptr<const CacheDomain>> domains,
+    const PwcetOptions& options)
+    : program_(program), domains_(std::move(domains)), options_(options) {
+  PWCET_EXPECTS(!domains_.empty());
+  for (const auto& domain : domains_) PWCET_EXPECTS(domain != nullptr);
+  PWCET_EXPECTS(domains_.front()->standalone());
+  core_key_ = pipeline_core_key(program_, domains_, options_.engine);
+
+  // Everything below lives inside the compute path on purpose: on a core
+  // memo hit the constructor does no analysis work at all — not even the
+  // reference extraction — just the structural hashes above.
+  auto compute_core = [&] {
+    std::vector<ReferenceMap> refs;
+    refs.reserve(domains_.size());
+    for (const auto& domain : domains_)
+      refs.push_back(domain->extract(program_));
+
+    std::unique_ptr<IpetCalculator> ipet;
+    if (options_.engine == WcetEngine::kIlp)
+      ipet = std::make_unique<IpetCalculator>(program_);
+
+    // One classification per domain, one summed time model, one phase-1
+    // maximization bounding the whole program.
+    CostModel total;
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+      const ClassificationMap cls = domains_[i]->classify(program_, refs[i]);
+      CostModel contribution =
+          domains_[i]->time_cost_model(program_, refs[i], cls);
+      if (i == 0)
+        total = std::move(contribution);
+      else
+        add_cost_model(total, contribution);
+    }
+
+    double wcet = 0.0;
+    if (options_.engine == WcetEngine::kIlp)
+      wcet = ipet->maximize(total).objective;
+    else
+      wcet = tree_maximize(program_, total);
+
+    PipelineCore core;
+    // The time model is integral; ceil absorbs LP round-off soundly.
+    core.fault_free_wcet = static_cast<Cycles>(std::ceil(wcet - 1e-6));
+    core.fmms.reserve(domains_.size());
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+      const StoreKey row_prefix =
+          domains_[i]->row_key_prefix(program_, options_.engine);
+      core.fmms.push_back(domains_[i]->fmm_bundle(
+          program_, refs[i], options_.engine, ipet.get(), options_.pool,
+          options_.store, &row_prefix));
+    }
+    return core;
+  };
+
+  if (options_.store != nullptr) {
+    const std::shared_ptr<const PipelineCore> core =
+        options_.store->memo().get_or_compute<PipelineCore>(core_key_,
+                                                            compute_core);
+    fault_free_wcet_ = core->fault_free_wcet;
+    fmms_ = core->fmms;
+  } else {
+    PipelineCore core = compute_core();
+    fault_free_wcet_ = core.fault_free_wcet;
+    fmms_ = std::move(core.fmms);
+  }
+}
+
+PwcetResult PwcetPipeline::analyze(const FaultModel& faults,
+                                   Mechanism mechanism) const {
+  return analyze(faults,
+                 std::vector<Mechanism>(domains_.size(), mechanism));
+}
+
+PwcetResult PwcetPipeline::analyze(
+    const FaultModel& faults, const std::vector<Mechanism>& mechanisms) const {
+  PWCET_EXPECTS(mechanisms.size() == domains_.size());
+  AnalysisStore* store = options_.store;
+
+  // Whole-analysis layer: one key per (core, mechanisms, pfail, coalescing
+  // budget) — everything this function reads. The single-domain tag is the
+  // historical per-mechanism result key, the multi-domain tag the combined
+  // analyzer's; compositions of different shapes cannot alias because the
+  // chained core key already separates them.
+  StoreKey result_key;
+  if (store != nullptr) {
+    KeyHasher hasher(domains_.size() == 1 ? "pwcet-result-v1"
+                                          : "pwcet-dresult-v1");
+    hasher.mix_key(core_key_);
+    for (const Mechanism mechanism : mechanisms)
+      hasher.mix_u64(static_cast<std::uint64_t>(mechanism));
+    result_key = hasher.mix_double(faults.pfail())
+                     .mix_u64(options_.max_distribution_points)
+                     .finish();
+    if (const std::shared_ptr<const void> hit =
+            store->memo().get(result_key))
+      return *std::static_pointer_cast<const PwcetResult>(hit);
+  }
+
+  PwcetResult result;
+  result.mechanism = mechanisms.front();
+  result.fault_free_wcet = fault_free_wcet_;
+  result.fmm = fmms_.front().of(mechanisms.front());
+
+  // Artifact tier: the penalty distribution (the only expensive part of
+  // the result — the FMM and the fault-free WCET come from the core
+  // layer) may survive from an earlier process.
+  if (store != nullptr && store->artifacts() != nullptr) {
+    if (std::optional<DiscreteDistribution> penalty =
+            store->artifacts()->load_distribution(result_key)) {
+      result.penalty = *std::move(penalty);
+      store->memo().put(result_key,
+                        std::make_shared<const PwcetResult>(result));
+      return result;
+    }
+  }
+
+  // Each domain's penalty runs through the shared per-set pipeline
+  // (content-addressed set distributions, fixed-shape convolution tree).
+  // Domains are physically disjoint SRAM arrays — their fault counts are
+  // independent — so the cross-domain penalty is the convolution, folded
+  // in domain order with the same coalescing budget.
+  DiscreteDistribution penalty = build_penalty_distribution(
+      fmms_[0].of(mechanisms[0]), domains_[0]->config(),
+      domains_[0]->pwf(faults, mechanisms[0]),
+      options_.max_distribution_points, options_.pool, store);
+  for (std::size_t i = 1; i < domains_.size(); ++i) {
+    const DiscreteDistribution domain_penalty = build_penalty_distribution(
+        fmms_[i].of(mechanisms[i]), domains_[i]->config(),
+        domains_[i]->pwf(faults, mechanisms[i]),
+        options_.max_distribution_points, options_.pool, store);
+    penalty = penalty.convolve(domain_penalty)
+                  .coalesce_up(options_.max_distribution_points);
+  }
+  result.penalty = std::move(penalty);
+
+  if (store != nullptr) {
+    if (store->artifacts() != nullptr)
+      store->artifacts()->store_distribution(result_key, result.penalty);
+    store->memo().put(result_key,
+                      std::make_shared<const PwcetResult>(result));
+  }
+  return result;
+}
+
+std::vector<CcdfPoint> PwcetResult::ccdf() const {
+  std::vector<CcdfPoint> points;
+  points.reserve(penalty.size());
+  for (const ProbabilityAtom& atom : penalty.atoms()) {
+    // P[WCET > fault_free + value] is the tail strictly above the atom;
+    // report the exceedance just below it, i.e. including the atom itself.
+    points.push_back({fault_free_wcet + atom.value,
+                      penalty.exceedance(atom.value - 1)});
+  }
+  return points;
+}
+
+}  // namespace pwcet

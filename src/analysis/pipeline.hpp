@@ -1,0 +1,166 @@
+/// \file
+/// PwcetPipeline — the single pWCET analysis flow, composing N >= 1
+/// CacheDomains (the paper's contribution, §II-B/C and §III-B).
+///
+/// Given a task, a list of cache domains (analysis/cache_domain.hpp), a
+/// cell failure probability and per-domain reliability mechanisms,
+/// produces the pWCET distribution:
+///
+///   1. fault-free WCET: each domain's reference stream is classified
+///      against its geometry, the per-domain time models are summed, and a
+///      single static maximization (IPET §II-B or the loop-tree engine)
+///      bounds the whole program;
+///   2. per-domain FMM via per-(set, fault-count) delta maximization
+///      (§II-C, §III-B);
+///   3. per-set penalty distributions {(miss_penalty * FMM[s][f], pwf(f))}
+///      with pwf from Eq. (2) (none/SRB) or Eq. (3) (RW);
+///   4. convolution across independent sets (Fig. 1.b), then across
+///      domains (physically disjoint SRAM arrays fail independently), both
+///      with conservative support coalescing and a fixed reduction shape;
+///   5. pWCET(p) = fault-free WCET + penalty quantile at exceedance p.
+///
+/// One domain gives the paper's instruction-cache analysis; [icache,
+/// dcache] gives the combined I+D extension; any further domain composes
+/// the same way. The legacy analyzer classes (core/pwcet_analyzer.hpp,
+/// dcache/dcache_analysis.hpp) are thin facades over this pipeline.
+///
+/// Store-key compatibility contract: the pipeline core key of a
+/// single-IcacheDomain composition is the historical "pwcet-core-v1"
+/// recipe (pwcet_core_key), that of the [IcacheDomain, DcacheDomain] pair
+/// is the historical "pwcet-dcore-v1" recipe, and the per-result /
+/// per-set-penalty / per-row keys reproduce the pre-pipeline analyzers'
+/// keys bit for bit — so memo and artifact stores written before this
+/// refactor keep hitting after it (pinned by
+/// tests/analysis_pipeline_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/cache_domain.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "store/key.hpp"
+
+namespace pwcet {
+
+class AnalysisStore;
+class ThreadPool;
+
+struct PwcetOptions {
+  /// Engine for the fault-free WCET and the FMM delta maximizations.
+  WcetEngine engine = WcetEngine::kIlp;
+  /// Max support points kept between convolutions (conservative
+  /// coalescing; larger = tighter, slower).
+  std::size_t max_distribution_points = 2048;
+  /// Optional worker pool (engine/thread_pool.hpp). When set, the
+  /// independent per-set work — penalty-distribution construction, the
+  /// pairwise convolution rounds, and (tree engine only) the FMM rows —
+  /// fans out across the pool. Results are identical with and without a
+  /// pool, at any thread count: work is partitioned by set index and the
+  /// convolution tree has a fixed shape. The pool must outlive the
+  /// pipeline; nullptr runs everything on the calling thread.
+  ThreadPool* pool = nullptr;
+  /// Optional content-addressed store (store/analysis_store.hpp), which
+  /// memoizes three layers: the pipeline core (fault-free WCET + all
+  /// domains' FMM bundles, including the tree engine's per-set rows),
+  /// per-set penalty distributions (content-addressed on the FMM row
+  /// itself, so identical rows share across sets, mechanisms, domains and
+  /// even tasks), and whole per-(mechanisms, pfail) results — the latter
+  /// also persisted to disk when the store has an artifact tier. Every key
+  /// captures all inputs of the computation it names and every computation
+  /// is deterministic, so results with a store are byte-identical to cold
+  /// recomputation at any thread count (asserted by tests/store_test.cpp).
+  /// The store must outlive the pipeline; nullptr computes from scratch.
+  AnalysisStore* store = nullptr;
+};
+
+/// One (exceedance probability, pWCET) point of the CCDF.
+struct CcdfPoint {
+  Cycles wcet = 0;
+  Probability exceedance = 0.0;
+};
+
+/// Full result of one mechanism assignment.
+struct PwcetResult {
+  Mechanism mechanism = Mechanism::kNone;  ///< primary domain's mechanism
+  Cycles fault_free_wcet = 0;
+  DiscreteDistribution penalty;  ///< fault-induced penalty (cycles)
+  FaultMissMap fmm;              ///< primary domain's FMM for `mechanism`
+
+  /// pWCET at exceedance probability p: the value the WCET random variable
+  /// exceeds with probability at most p (e.g. p = 1e-15 for Fig. 4).
+  Cycles pwcet(Probability p) const {
+    return fault_free_wcet + penalty.quantile_exceedance(p);
+  }
+
+  /// Exceedance probability of a given WCET value (Fig. 3 y-axis).
+  Probability exceedance(Cycles wcet) const {
+    return penalty.exceedance(wcet - fault_free_wcet);
+  }
+
+  /// The CCDF as explicit points (one per penalty support atom).
+  std::vector<CcdfPoint> ccdf() const;
+};
+
+/// Per-set penalty-distribution pipeline shared by every domain: builds
+/// one distribution per set (atom value = miss_penalty * ceil(FMM[s][f]),
+/// probability pwf[f]) and combines the independent sets with the
+/// fixed-shape pairwise convolution tree. With a store, each set's
+/// distribution is memoized under a content key (FMM row, pwf, miss
+/// penalty) so identical rows share across sets, mechanisms, domains and
+/// even tasks. Deterministic: identical bits at any thread count, store
+/// on or off.
+DiscreteDistribution build_penalty_distribution(
+    const FaultMissMap& fmm, const CacheConfig& config,
+    const std::vector<Probability>& pwf, std::size_t max_points,
+    ThreadPool* pool, AnalysisStore* store);
+
+/// Pipeline bound to one (program, domain list) pair. The expensive
+/// shared work (reference extraction, fault-free classification, the
+/// single IPET/tree phase-1 maximization, all FMM bundles) is done once
+/// in the constructor — memoized all-or-nothing under the core key — and
+/// reused across mechanisms and pfail values.
+class PwcetPipeline {
+ public:
+  /// `domains` must be non-empty and its first entry standalone()
+  /// (secondary domains charge incremental penalties only and cannot lead
+  /// a composition). The program must outlive the pipeline; domains are
+  /// shared (immutable) and kept alive by the pipeline.
+  PwcetPipeline(const Program& program,
+                std::vector<std::shared_ptr<const CacheDomain>> domains,
+                const PwcetOptions& options = {});
+
+  /// Fault-free (deterministic) WCET in cycles, all domains included.
+  Cycles fault_free_wcet() const { return fault_free_wcet_; }
+
+  /// pWCET analysis with one mechanism per domain (same order as the
+  /// domain list; must match its length).
+  PwcetResult analyze(const FaultModel& faults,
+                      const std::vector<Mechanism>& mechanisms) const;
+
+  /// pWCET analysis with the same mechanism deployed on every domain.
+  PwcetResult analyze(const FaultModel& faults, Mechanism mechanism) const;
+
+  const Program& program() const { return program_; }
+  std::size_t domain_count() const { return domains_.size(); }
+  const CacheDomain& domain(std::size_t i) const { return *domains_[i]; }
+
+  /// FMM bundle of domain i (same order as the domain list).
+  const FmmBundle& fmm(std::size_t i) const { return fmms_[i]; }
+
+  /// Store key of the pipeline core: program content x every domain's
+  /// chained contribution x engine — the prefix every per-result key
+  /// chains from. See the header comment for the compatibility contract.
+  const StoreKey& core_key() const { return core_key_; }
+
+ private:
+  const Program& program_;
+  std::vector<std::shared_ptr<const CacheDomain>> domains_;
+  PwcetOptions options_;
+  Cycles fault_free_wcet_ = 0;
+  std::vector<FmmBundle> fmms_;
+  StoreKey core_key_;
+};
+
+}  // namespace pwcet

@@ -1,197 +1,11 @@
 #include "core/pwcet_analyzer.hpp"
 
-#include <cmath>
-#include <utility>
-
-#include "engine/thread_pool.hpp"
-#include "store/analysis_store.hpp"
-#include "support/contracts.hpp"
-#include "wcet/tree_engine.hpp"
-
 namespace pwcet {
-namespace {
-
-/// Memo value of the analyzer-core layer: everything expensive the
-/// constructor produces. Cached all-or-nothing so the ILP engine's shared
-/// simplex sees the exact same maximize() sequence on every miss (partial
-/// reuse would perturb LP round-off; see wcet/fmm.hpp).
-struct AnalyzerCore {
-  Cycles fault_free_wcet = 0;
-  FmmBundle fmm;
-};
-
-}  // namespace
-
-StoreKey pwcet_core_key(const Program& program, const CacheConfig& config,
-                        WcetEngine engine) {
-  return KeyHasher("pwcet-core-v1")
-      .mix_key(hash_program(program))
-      .mix_key(hash_cache_config(config))
-      .mix_u64(static_cast<std::uint64_t>(engine))
-      .finish();
-}
-
-DiscreteDistribution build_penalty_distribution(
-    const FaultMissMap& fmm, const CacheConfig& config,
-    const std::vector<Probability>& pwf, std::size_t max_points,
-    ThreadPool* pool, AnalysisStore* store) {
-  // Per-set penalty distribution: one atom per possible fault count
-  // (paper Fig. 1.b), value = miss_penalty * FMM[s][f].
-  auto build_set_cold = [&](std::size_t s) {
-    std::vector<ProbabilityAtom> atoms;
-    atoms.reserve(pwf.size());
-    for (std::size_t f = 0; f < pwf.size(); ++f) {
-      const double misses = fmm.at(static_cast<SetIndex>(s),
-                                   static_cast<std::uint32_t>(f));
-      const auto penalty = static_cast<Cycles>(
-          std::ceil(misses - 1e-6) * static_cast<double>(config.miss_penalty));
-      atoms.push_back({penalty, pwf[f]});
-    }
-    return DiscreteDistribution::from_atoms(std::move(atoms));
-  };
-
-  // Per-set layer: keyed by the *content* the atoms are built from (FMM
-  // row, pwf, miss penalty), not by set index or task — so the many sets
-  // that share a row (untouched sets, symmetric layouts) build it once,
-  // across mechanisms, geometries with equal rows, caches and analyzers.
-  auto build_set = [&](std::size_t s) {
-    if (store == nullptr) return build_set_cold(s);
-    const StoreKey key = KeyHasher("set-penalty-v1")
-                             .mix_i64(config.miss_penalty)
-                             .mix_doubles(pwf)
-                             .mix_doubles(fmm.misses[s])
-                             .finish();
-    return *store->memo().get_or_compute<DiscreteDistribution>(
-        key, [&] { return build_set_cold(s); });
-  };
-
-  // Sets are independent (Fig. 1.b): combine by convolution, pairwise so
-  // the rounds parallelize and the coalescing error stacks O(log S) deep
-  // instead of O(S). Pooled and serial paths produce identical bits.
-  std::vector<DiscreteDistribution> per_set;
-  if (pool != nullptr) {
-    per_set = pool->map_indexed(config.sets, build_set);
-  } else {
-    per_set.reserve(config.sets);
-    for (SetIndex s = 0; s < config.sets; ++s)
-      per_set.push_back(build_set(s));
-  }
-  return convolve_all_tree(per_set, max_points, pool);
-}
 
 PwcetAnalyzer::PwcetAnalyzer(const Program& program,
                              const CacheConfig& config,
                              const PwcetOptions& options)
-    : program_(program), config_(config), options_(options) {
-  config_.validate();
-  core_key_ = pwcet_core_key(program, config_, options_.engine);
-
-  // Everything below lives inside the compute path on purpose: on a core
-  // memo hit the constructor does no analysis work at all — not even the
-  // reference extraction — just the structural hash above.
-  auto compute_core = [&] {
-    const ReferenceMap refs = extract_references(program.cfg(), config_);
-    if (options_.engine == WcetEngine::kIlp)
-      ipet_ = std::make_unique<IpetCalculator>(program_);
-
-    const ClassificationMap classification =
-        classify_fault_free(program.cfg(), refs, config_);
-    const CostModel time_model =
-        build_time_cost_model(program.cfg(), refs, classification, config_);
-
-    double wcet = 0.0;
-    if (options_.engine == WcetEngine::kIlp)
-      wcet = ipet_->maximize(time_model).objective;
-    else
-      wcet = tree_maximize(program_, time_model);
-
-    AnalyzerCore core;
-    // The time model is integral; ceil absorbs LP round-off soundly.
-    core.fault_free_wcet = static_cast<Cycles>(std::ceil(wcet - 1e-6));
-    core.fmm = compute_fmm_bundle(program_, config_, refs, options_.engine,
-                                  ipet_.get(), options_.pool, options_.store,
-                                  &core_key_);
-    return core;
-  };
-
-  if (options_.store != nullptr) {
-    const std::shared_ptr<const AnalyzerCore> core =
-        options_.store->memo().get_or_compute<AnalyzerCore>(core_key_,
-                                                            compute_core);
-    fault_free_wcet_ = core->fault_free_wcet;
-    fmm_ = core->fmm;
-  } else {
-    AnalyzerCore core = compute_core();
-    fault_free_wcet_ = core.fault_free_wcet;
-    fmm_ = std::move(core.fmm);
-  }
-}
-
-PwcetResult PwcetAnalyzer::analyze(const FaultModel& faults,
-                                   Mechanism mechanism) const {
-  const FaultMissMap& fmm = fmm_.of(mechanism);
-  const std::vector<Probability> pwf =
-      faults.way_failure_pmf(config_, mechanism);
-
-  AnalysisStore* store = options_.store;
-
-  // Whole-analysis layer: one key per (core, mechanism, pfail, coalescing
-  // budget) — everything analyze() reads.
-  StoreKey result_key;
-  if (store != nullptr) {
-    result_key = KeyHasher("pwcet-result-v1")
-                     .mix_key(core_key_)
-                     .mix_u64(static_cast<std::uint64_t>(mechanism))
-                     .mix_double(faults.pfail())
-                     .mix_u64(options_.max_distribution_points)
-                     .finish();
-    if (const std::shared_ptr<const void> hit =
-            store->memo().get(result_key))
-      return *std::static_pointer_cast<const PwcetResult>(hit);
-  }
-
-  PwcetResult result;
-  result.mechanism = mechanism;
-  result.fault_free_wcet = fault_free_wcet_;
-  result.fmm = fmm;
-
-  // Artifact tier: the penalty distribution (the only expensive part of
-  // the result — fmm and the fault-free WCET come from the core layer)
-  // may survive from an earlier process.
-  if (store != nullptr && store->artifacts() != nullptr) {
-    if (std::optional<DiscreteDistribution> penalty =
-            store->artifacts()->load_distribution(result_key)) {
-      result.penalty = *std::move(penalty);
-      store->memo().put(result_key,
-                        std::make_shared<const PwcetResult>(result));
-      return result;
-    }
-  }
-
-  result.penalty =
-      build_penalty_distribution(fmm, config_, pwf,
-                                 options_.max_distribution_points,
-                                 options_.pool, store);
-
-  if (store != nullptr) {
-    if (store->artifacts() != nullptr)
-      store->artifacts()->store_distribution(result_key, result.penalty);
-    store->memo().put(result_key,
-                      std::make_shared<const PwcetResult>(result));
-  }
-  return result;
-}
-
-std::vector<CcdfPoint> PwcetResult::ccdf() const {
-  std::vector<CcdfPoint> points;
-  points.reserve(penalty.size());
-  for (const ProbabilityAtom& atom : penalty.atoms()) {
-    // P[WCET > fault_free + value] is the tail strictly above the atom;
-    // report the exceedance just below it, i.e. including the atom itself.
-    points.push_back({fault_free_wcet + atom.value,
-                      penalty.exceedance(atom.value - 1)});
-  }
-  return points;
-}
+    : pipeline_(program, {std::make_shared<const IcacheDomain>(config)},
+                options) {}
 
 }  // namespace pwcet

@@ -1,148 +1,48 @@
-// Top-level probabilistic WCET analysis (the paper's contribution).
-//
-// Given a task, a cache configuration, a cell failure probability and a
-// reliability mechanism, produces the pWCET distribution:
-//
-//   1. fault-free WCET via static cache analysis + IPET (§II-B);
-//   2. FMM via per-(set, fault-count) delta maximization (§II-C, §III-B);
-//   3. per-set penalty distributions {(miss_penalty * FMM[s][f], pwf(f))}
-//      with pwf from Eq. (2) (none/SRB) or Eq. (3) (RW);
-//   4. convolution across independent sets (Fig. 1.b) with conservative
-//      support coalescing;
-//   5. pWCET(p) = fault-free WCET + penalty quantile at exceedance p.
-//
-// The result's exceedance function is the complementary cumulative
-// distribution plotted in the paper's Fig. 3; the 1e-15 quantile is the
-// pWCET estimate reported in Fig. 4.
+/// \file
+/// Single-cache pWCET analyzer — a thin facade over the domain-pluggable
+/// pipeline (analysis/pipeline.hpp) composing exactly one IcacheDomain.
+///
+/// The analysis flow itself — classification, FMM, pwf weighting, per-set
+/// penalty construction, convolution, the three memoization layers — lives
+/// once, in PwcetPipeline; this class only preserves the historical
+/// construction-site API (and, via the pipeline's compatibility contract,
+/// the historical "pwcet-core-v1"/"pwcet-result-v1" store keys bit for
+/// bit). PwcetOptions, PwcetResult, CcdfPoint and pwcet_core_key are
+/// re-exported from the analysis layer for source compatibility.
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "cache/cache_config.hpp"
-#include "cache/references.hpp"
-#include "cfg/program.hpp"
-#include "fault/fault_model.hpp"
-#include "prob/discrete_distribution.hpp"
-#include "store/key.hpp"
-#include "wcet/fmm.hpp"
-#include "wcet/ipet.hpp"
+#include "analysis/icache_domain.hpp"
+#include "analysis/pipeline.hpp"
 
 namespace pwcet {
 
-class AnalysisStore;
-class ThreadPool;
-
-struct PwcetOptions {
-  /// Engine for the fault-free WCET and the FMM delta maximizations.
-  WcetEngine engine = WcetEngine::kIlp;
-  /// Max support points kept between set convolutions (conservative
-  /// coalescing; larger = tighter, slower).
-  std::size_t max_distribution_points = 2048;
-  /// Optional worker pool (engine/thread_pool.hpp). When set, the
-  /// independent per-set work — penalty-distribution construction, the
-  /// pairwise convolution rounds, and (tree engine only) the FMM rows —
-  /// fans out across the pool. Results are identical with and without a
-  /// pool, at any thread count: work is partitioned by set index and the
-  /// convolution tree has a fixed shape. The pool must outlive the
-  /// analyzer; nullptr runs everything on the calling thread.
-  ThreadPool* pool = nullptr;
-  /// Optional content-addressed store (store/analysis_store.hpp), which
-  /// memoizes three layers: the analyzer core (fault-free WCET + FMM
-  /// bundle, including the tree engine's per-set rows), per-set penalty
-  /// distributions (content-addressed on the FMM row itself, so identical
-  /// rows share across sets, mechanisms and even tasks), and whole
-  /// per-(mechanism, pfail) results — the latter also persisted to disk
-  /// when the store has an artifact tier. Every key captures all inputs
-  /// of the computation it names and every computation is deterministic,
-  /// so results with a store are byte-identical to cold recomputation at
-  /// any thread count (asserted by tests/store_test.cpp). The store must
-  /// outlive the analyzer; nullptr computes everything from scratch.
-  AnalysisStore* store = nullptr;
-};
-
-/// One (exceedance probability, pWCET) point of the CCDF.
-struct CcdfPoint {
-  Cycles wcet = 0;
-  Probability exceedance = 0.0;
-};
-
-/// Full result of one mechanism analysis.
-struct PwcetResult {
-  Mechanism mechanism = Mechanism::kNone;
-  Cycles fault_free_wcet = 0;
-  DiscreteDistribution penalty;  ///< fault-induced penalty (cycles)
-  FaultMissMap fmm;
-
-  /// pWCET at exceedance probability p: the value the WCET random variable
-  /// exceeds with probability at most p (e.g. p = 1e-15 for Fig. 4).
-  Cycles pwcet(Probability p) const {
-    return fault_free_wcet + penalty.quantile_exceedance(p);
-  }
-
-  /// Exceedance probability of a given WCET value (Fig. 3 y-axis).
-  Probability exceedance(Cycles wcet) const {
-    return penalty.exceedance(wcet - fault_free_wcet);
-  }
-
-  /// The CCDF as explicit points (one per penalty support atom).
-  std::vector<CcdfPoint> ccdf() const;
-};
-
-/// Store key of a single-cache analyzer core: program content x cache
-/// config x engine. Defined here (not inline in the constructor) because
-/// the combined I+D analyzer (dcache/dcache_analysis.hpp) derives its
-/// icache FMM-row prefix from the *same* recipe so the two analyzer
-/// flavours share memoized rows — one definition, no silent drift.
-StoreKey pwcet_core_key(const Program& program, const CacheConfig& config,
-                        WcetEngine engine);
-
-/// Per-set penalty-distribution pipeline shared by the single-cache
-/// analyzer below and the combined I+D analyzer
-/// (dcache/dcache_analysis.hpp): builds one distribution per set (atom
-/// value = miss_penalty * ceil(FMM[s][f]), probability pwf[f]) and
-/// combines the independent sets with the fixed-shape pairwise convolution
-/// tree. With a store, each set's distribution is memoized under a content
-/// key (FMM row, pwf, miss penalty) so identical rows share across sets,
-/// mechanisms, caches and even tasks. Deterministic: identical bits at any
-/// thread count, store on or off.
-DiscreteDistribution build_penalty_distribution(
-    const FaultMissMap& fmm, const CacheConfig& config,
-    const std::vector<Probability>& pwf, std::size_t max_points,
-    ThreadPool* pool, AnalysisStore* store);
-
-/// Analyzer bound to one (program, cache) pair. The expensive shared work
-/// (reference extraction, fault-free classification, IPET phase 1, FMM
-/// bundle) is done once and reused across mechanisms and pfail values.
+/// Analyzer bound to one (program, instruction-cache) pair. The expensive
+/// shared work (reference extraction, fault-free classification, IPET
+/// phase 1, FMM bundle) is done once and reused across mechanisms and
+/// pfail values.
 class PwcetAnalyzer {
  public:
   PwcetAnalyzer(const Program& program, const CacheConfig& config,
                 const PwcetOptions& options = {});
 
   /// Fault-free (deterministic) WCET in cycles.
-  Cycles fault_free_wcet() const { return fault_free_wcet_; }
+  Cycles fault_free_wcet() const { return pipeline_.fault_free_wcet(); }
 
   /// pWCET analysis for one mechanism at one cell failure probability.
-  PwcetResult analyze(const FaultModel& faults, Mechanism mechanism) const;
+  PwcetResult analyze(const FaultModel& faults, Mechanism mechanism) const {
+    return pipeline_.analyze(faults, mechanism);
+  }
 
-  const FmmBundle& fmm_bundle() const { return fmm_; }
-  const CacheConfig& config() const { return config_; }
-  const Program& program() const { return program_; }
+  const FmmBundle& fmm_bundle() const { return pipeline_.fmm(0); }
+  const CacheConfig& config() const { return pipeline_.domain(0).config(); }
+  const Program& program() const { return pipeline_.program(); }
 
   /// Store key of the analyzer core: program content x cache config x
   /// engine — the prefix every per-result key chains from.
-  const StoreKey& core_key() const { return core_key_; }
+  const StoreKey& core_key() const { return pipeline_.core_key(); }
 
  private:
-  const Program& program_;
-  CacheConfig config_;
-  PwcetOptions options_;
-  std::unique_ptr<IpetCalculator> ipet_;
-  Cycles fault_free_wcet_ = 0;
-  FmmBundle fmm_;
-  StoreKey core_key_;
+  PwcetPipeline pipeline_;
 };
 
 }  // namespace pwcet

@@ -1,240 +1,14 @@
 #include "dcache/dcache_analysis.hpp"
 
-#include <cmath>
-#include <memory>
-#include <utility>
-
-#include "store/analysis_store.hpp"
-#include "support/contracts.hpp"
-#include "wcet/cost_model.hpp"
-#include "wcet/ipet.hpp"
-#include "wcet/tree_engine.hpp"
-
 namespace pwcet {
-namespace {
-
-/// Data-side time model: loads contribute miss penalties only (the load
-/// instruction's execution cycle is already charged as an instruction
-/// fetch by the I-side model).
-CostModel build_data_time_cost_model(const ControlFlowGraph& cfg,
-                                     const ReferenceMap& drefs,
-                                     const ClassificationMap& classification,
-                                     const CacheConfig& dcache) {
-  CostModel model = CostModel::zero(cfg);
-  const auto miss = static_cast<double>(dcache.miss_penalty);
-  for (const BasicBlock& block : cfg.blocks()) {
-    for (std::size_t i = 0; i < drefs[size_t(block.id)].size(); ++i) {
-      const RefClass& cls = classification[size_t(block.id)][i];
-      switch (cls.chmc) {
-        case Chmc::kAlwaysHit:
-          break;
-        case Chmc::kAlwaysMiss:
-        case Chmc::kNotClassified:
-          model.block_cost[size_t(block.id)] += miss;
-          break;
-        case Chmc::kFirstMiss:
-          if (cls.scope == kNoLoop)
-            model.root_entry_cost += miss;
-          else
-            model.loop_entry_cost[size_t(cls.scope)] += miss;
-          break;
-      }
-    }
-  }
-  return model;
-}
-
-CostModel sum_models(const CostModel& a, const CostModel& b) {
-  CostModel out = a;
-  for (std::size_t i = 0; i < out.block_cost.size(); ++i)
-    out.block_cost[i] += b.block_cost[i];
-  for (std::size_t i = 0; i < out.loop_entry_cost.size(); ++i)
-    out.loop_entry_cost[i] += b.loop_entry_cost[i];
-  out.root_entry_cost += b.root_entry_cost;
-  return out;
-}
-
-/// Memo value of the combined analyzer-core layer. Cached all-or-nothing
-/// for the same reason as the single-cache core: the ILP engine's shared
-/// simplex must see the exact same maximize() sequence on every miss.
-struct CombinedCore {
-  Cycles fault_free_wcet = 0;
-  FmmBundle ifmm;
-  FmmBundle dfmm;
-};
-
-}  // namespace
-
-ReferenceMap extract_data_references(const ControlFlowGraph& cfg,
-                                     const CacheConfig& dcache) {
-  dcache.validate();
-  ReferenceMap refs(cfg.block_count());
-  for (const BasicBlock& b : cfg.blocks()) {
-    auto& seq = refs[size_t(b.id)];
-    for (Address a : b.data_addresses) {
-      const LineAddress line = dcache.line_of(a);
-      if (!seq.empty() && seq.back().line == line) {
-        ++seq.back().fetches;
-      } else {
-        seq.push_back({line, dcache.set_of_line(line), 1});
-      }
-    }
-  }
-  return refs;
-}
-
-std::uint64_t block_loads(const ControlFlowGraph& cfg, BlockId b) {
-  return cfg.block(b).data_addresses.size();
-}
 
 CombinedPwcetAnalyzer::CombinedPwcetAnalyzer(const Program& program,
                                              const CacheConfig& icache,
                                              const CacheConfig& dcache,
                                              const PwcetOptions& options)
-    : program_(program),
-      icache_(icache),
-      dcache_(dcache),
-      options_(options) {
-  icache_.validate();
-  dcache_.validate();
-  core_key_ = KeyHasher("pwcet-dcore-v1")
-                  .mix_key(hash_program(program))
-                  .mix_key(hash_cache_config(icache_))
-                  .mix_key(hash_cache_config(dcache_))
-                  .mix_u64(static_cast<std::uint64_t>(options_.engine))
-                  .finish();
-
-  // As in the single-cache analyzer, everything expensive lives inside the
-  // compute path: on a core memo hit the constructor does no analysis work
-  // beyond the structural hash above.
-  auto compute_core = [&] {
-    const ReferenceMap irefs = extract_references(program.cfg(), icache_);
-    const ReferenceMap drefs = extract_data_references(program.cfg(), dcache_);
-
-    const ClassificationMap icls =
-        classify_fault_free(program.cfg(), irefs, icache_);
-    const ClassificationMap dcls =
-        classify_fault_free(program.cfg(), drefs, dcache_);
-    const CostModel combined = sum_models(
-        build_time_cost_model(program.cfg(), irefs, icls, icache_),
-        build_data_time_cost_model(program.cfg(), drefs, dcls, dcache_));
-
-    std::unique_ptr<IpetCalculator> ipet;
-    double wcet = 0.0;
-    if (options_.engine == WcetEngine::kIlp) {
-      ipet = std::make_unique<IpetCalculator>(program_);
-      wcet = ipet->maximize(combined).objective;
-    } else {
-      wcet = tree_maximize(program_, combined);
-    }
-
-    CombinedCore core;
-    // The time model is integral; ceil absorbs LP round-off soundly.
-    core.fault_free_wcet = static_cast<Cycles>(std::ceil(wcet - 1e-6));
-
-    // The icache rows are computed from the same reference map, config and
-    // engine a plain PwcetAnalyzer of this program would use, so their row
-    // prefix is the plain analyzer's core key and the two analyzer
-    // flavours share memoized rows. The dcache rows get a distinct domain:
-    // a data reference map must never alias an instruction one even when
-    // the two cache configs coincide.
-    const StoreKey irow_prefix =
-        pwcet_core_key(program, icache_, options_.engine);
-    const StoreKey drow_prefix =
-        KeyHasher("pwcet-dcache-rows-v1")
-            .mix_key(hash_program(program))
-            .mix_key(hash_cache_config(dcache_))
-            .mix_u64(static_cast<std::uint64_t>(options_.engine))
-            .finish();
-    core.ifmm = compute_fmm_bundle(program_, icache_, irefs, options_.engine,
-                                   ipet.get(), options_.pool, options_.store,
-                                   &irow_prefix);
-    core.dfmm = compute_fmm_bundle(program_, dcache_, drefs, options_.engine,
-                                   ipet.get(), options_.pool, options_.store,
-                                   &drow_prefix);
-    return core;
-  };
-
-  if (options_.store != nullptr) {
-    const std::shared_ptr<const CombinedCore> core =
-        options_.store->memo().get_or_compute<CombinedCore>(core_key_,
-                                                            compute_core);
-    fault_free_wcet_ = core->fault_free_wcet;
-    ifmm_ = core->ifmm;
-    dfmm_ = core->dfmm;
-  } else {
-    CombinedCore core = compute_core();
-    fault_free_wcet_ = core.fault_free_wcet;
-    ifmm_ = std::move(core.ifmm);
-    dfmm_ = std::move(core.dfmm);
-  }
-}
-
-PwcetResult CombinedPwcetAnalyzer::analyze(const FaultModel& faults,
-                                           Mechanism mechanism) const {
-  return analyze_mixed(faults, mechanism, mechanism);
-}
-
-PwcetResult CombinedPwcetAnalyzer::analyze_mixed(const FaultModel& faults,
-                                                 Mechanism icache_mech,
-                                                 Mechanism dcache_mech) const {
-  AnalysisStore* store = options_.store;
-
-  // Whole-analysis layer: one key per (core, imech, dmech, pfail,
-  // coalescing budget) — everything this function reads.
-  StoreKey result_key;
-  if (store != nullptr) {
-    result_key = KeyHasher("pwcet-dresult-v1")
-                     .mix_key(core_key_)
-                     .mix_u64(static_cast<std::uint64_t>(icache_mech))
-                     .mix_u64(static_cast<std::uint64_t>(dcache_mech))
-                     .mix_double(faults.pfail())
-                     .mix_u64(options_.max_distribution_points)
-                     .finish();
-    if (const std::shared_ptr<const void> hit =
-            store->memo().get(result_key))
-      return *std::static_pointer_cast<const PwcetResult>(hit);
-  }
-
-  PwcetResult result;
-  result.mechanism = icache_mech;
-  result.fault_free_wcet = fault_free_wcet_;
-  result.fmm = ifmm_.of(icache_mech);
-
-  // Artifact tier: the combined penalty distribution may survive from an
-  // earlier process.
-  if (store != nullptr && store->artifacts() != nullptr) {
-    if (std::optional<DiscreteDistribution> penalty =
-            store->artifacts()->load_distribution(result_key)) {
-      result.penalty = *std::move(penalty);
-      store->memo().put(result_key,
-                        std::make_shared<const PwcetResult>(result));
-      return result;
-    }
-  }
-
-  // The two caches are physically disjoint SRAM arrays: their fault counts
-  // are independent, so the combined penalty is the convolution. Each
-  // cache's penalty runs through the shared per-set pipeline (content-
-  // addressed set distributions, fixed-shape convolution tree).
-  const DiscreteDistribution ipenalty = build_penalty_distribution(
-      ifmm_.of(icache_mech), icache_,
-      faults.way_failure_pmf(icache_, icache_mech),
-      options_.max_distribution_points, options_.pool, store);
-  const DiscreteDistribution dpenalty = build_penalty_distribution(
-      dfmm_.of(dcache_mech), dcache_,
-      faults.way_failure_pmf(dcache_, dcache_mech),
-      options_.max_distribution_points, options_.pool, store);
-  result.penalty = ipenalty.convolve(dpenalty)
-                       .coalesce_up(options_.max_distribution_points);
-
-  if (store != nullptr) {
-    if (store->artifacts() != nullptr)
-      store->artifacts()->store_distribution(result_key, result.penalty);
-    store->memo().put(result_key,
-                      std::make_shared<const PwcetResult>(result));
-  }
-  return result;
-}
+    : pipeline_(program,
+                {std::make_shared<const IcacheDomain>(icache),
+                 std::make_shared<const DcacheDomain>(dcache)},
+                options) {}
 
 }  // namespace pwcet

@@ -1,55 +1,25 @@
-// Data-cache extension (paper §VI future work: "transpose the hardware and
-// corresponding analyses to data caches").
-//
-// Scope: loads from *statically known* addresses — scalars, constant
-// tables, spill slots — recorded per basic block by the program builder.
-// Input-dependent accesses are outside this extension's scope (sound
-// treatment would classify them not-classified; they simply cannot be
-// expressed). Stores are not modeled (read-only data, or write-through /
-// no-allocate semantics).
-//
-// Under these restrictions the data cache is formally identical to the
-// instruction cache — an address stream per block — so the Must/May/
-// persistence analyses, the SRB analysis, the FMM delta machinery and the
-// penalty-distribution pipeline are reused as-is on a *data* reference
-// map. Both caches fail independently (disjoint SRAM arrays), so the
-// combined penalty is the convolution of the two penalty distributions and
-// the combined fault-free WCET is a single IPET/tree maximization over the
-// summed cost models.
-//
-// Like the single-cache analyzer, the combined analyzer participates in
-// the campaign engine's memoized group flow (PwcetOptions.store): the
-// expensive core (fault-free WCET + both FMM bundles) is cached
-// all-or-nothing under a combined core key, the icache FMM rows share the
-// exact row keys a plain PwcetAnalyzer of the same (program, icache,
-// engine) would use, the dcache rows get their own domain (a data
-// reference map must never alias an instruction one), per-set penalty
-// distributions share the content-addressed "set-penalty" layer across
-// both caches, and whole per-(imech, dmech, pfail) results are memoized
-// and disk-persisted. Per-set work fans out on PwcetOptions.pool. Results
-// are byte-identical at any thread count, store on/off, cold or warm.
+/// \file
+/// Combined I+D pWCET analyzer — a thin facade over the domain-pluggable
+/// pipeline (analysis/pipeline.hpp) composing [IcacheDomain, DcacheDomain].
+///
+/// The data-cache extension's scope, semantics and store-key sub-domain
+/// are documented on DcacheDomain (analysis/dcache_domain.hpp), which also
+/// hosts extract_data_references/block_loads; the shared analysis flow —
+/// classification, FMM, penalty construction, cross-domain convolution,
+/// the three memoization layers — lives once, in PwcetPipeline. This class
+/// only preserves the historical construction-site API (and, via the
+/// pipeline's compatibility contract, the historical "pwcet-dcore-v1"/
+/// "pwcet-dresult-v1" store keys bit for bit): the icache FMM rows share
+/// the exact row keys a plain PwcetAnalyzer of the same (program, icache,
+/// engine) would use, the dcache rows keep their own domain, and results
+/// are byte-identical at any thread count, store on/off, cold or warm.
 #pragma once
 
-#include <optional>
-
-#include "cache/cache_config.hpp"
-#include "cache/references.hpp"
-#include "core/pwcet_analyzer.hpp"
-#include "cfg/program.hpp"
-#include "fault/fault_model.hpp"
-#include "prob/discrete_distribution.hpp"
-#include "wcet/fmm.hpp"
+#include "analysis/dcache_domain.hpp"
+#include "analysis/icache_domain.hpp"
+#include "analysis/pipeline.hpp"
 
 namespace pwcet {
-
-/// Extracts the per-block *data* line references (analogue of
-/// extract_references for instruction fetches). Consecutive same-line
-/// loads within a block merge, mirroring spatial locality.
-ReferenceMap extract_data_references(const ControlFlowGraph& cfg,
-                                     const CacheConfig& dcache);
-
-/// Total data accesses recorded for a block.
-std::uint64_t block_loads(const ControlFlowGraph& cfg, BlockId b);
 
 /// Combined I+D pWCET analysis. The instruction and data caches may have
 /// different geometries; each gets its own FMM bundle; penalties convolve.
@@ -60,32 +30,29 @@ class CombinedPwcetAnalyzer {
                         const PwcetOptions& options = {});
 
   /// Fault-free WCET including both caches' miss contributions.
-  Cycles fault_free_wcet() const { return fault_free_wcet_; }
+  Cycles fault_free_wcet() const { return pipeline_.fault_free_wcet(); }
 
   /// pWCET with the same mechanism deployed on both caches.
-  PwcetResult analyze(const FaultModel& faults, Mechanism mechanism) const;
+  PwcetResult analyze(const FaultModel& faults, Mechanism mechanism) const {
+    return analyze_mixed(faults, mechanism, mechanism);
+  }
 
   /// pWCET with distinct mechanisms per cache (e.g. RW on the I-cache,
   /// SRB on the D-cache — a cost-conscious mixed deployment).
   PwcetResult analyze_mixed(const FaultModel& faults, Mechanism icache_mech,
-                            Mechanism dcache_mech) const;
+                            Mechanism dcache_mech) const {
+    return pipeline_.analyze(faults, {icache_mech, dcache_mech});
+  }
 
-  const FmmBundle& icache_fmm() const { return ifmm_; }
-  const FmmBundle& dcache_fmm() const { return dfmm_; }
+  const FmmBundle& icache_fmm() const { return pipeline_.fmm(0); }
+  const FmmBundle& dcache_fmm() const { return pipeline_.fmm(1); }
 
   /// Store key of the combined analyzer core: program content x both cache
   /// configs x engine — the prefix every per-result key chains from.
-  const StoreKey& core_key() const { return core_key_; }
+  const StoreKey& core_key() const { return pipeline_.core_key(); }
 
  private:
-  const Program& program_;
-  CacheConfig icache_;
-  CacheConfig dcache_;
-  PwcetOptions options_;
-  Cycles fault_free_wcet_ = 0;
-  FmmBundle ifmm_;
-  FmmBundle dfmm_;
-  StoreKey core_key_;
+  PwcetPipeline pipeline_;
 };
 
 }  // namespace pwcet

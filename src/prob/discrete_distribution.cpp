@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "engine/thread_pool.hpp"
 #include "support/contracts.hpp"
@@ -107,14 +106,32 @@ Cycles DiscreteDistribution::quantile_exceedance(Probability p) const {
 
 DiscreteDistribution DiscreteDistribution::convolve(
     const DiscreteDistribution& other) const {
-  std::map<Cycles, Probability> sums;
+  // Hot loop of the whole analysis (every set pair of every penalty
+  // distribution funnels through here): two flat reserved buffers instead
+  // of a node-per-value ordered map. The pair products are generated
+  // a-major/b-minor, stable-sorted by value and accumulated left to right,
+  // so each value's probabilities sum in exactly the generation order —
+  // the same order the map-based version inserted them — keeping results
+  // bit-identical while eliminating the per-node allocations.
+  std::vector<ProbabilityAtom> products;
+  products.reserve(atoms_.size() * other.atoms_.size());
   for (const auto& a : atoms_)
     for (const auto& b : other.atoms_)
-      sums[a.value + b.value] += a.probability * b.probability;
+      products.push_back({a.value + b.value, a.probability * b.probability});
+  std::stable_sort(products.begin(), products.end(),
+                   [](const ProbabilityAtom& x, const ProbabilityAtom& y) {
+                     return x.value < y.value;
+                   });
   std::vector<ProbabilityAtom> atoms;
-  atoms.reserve(sums.size());
-  for (const auto& [value, prob] : sums)
-    if (prob > 0.0) atoms.push_back({value, prob});
+  atoms.reserve(products.size());
+  for (const auto& product : products) {
+    if (!atoms.empty() && atoms.back().value == product.value)
+      atoms.back().probability += product.probability;
+    else
+      atoms.push_back(product);
+  }
+  std::erase_if(atoms,
+                [](const ProbabilityAtom& a) { return a.probability == 0.0; });
   return DiscreteDistribution(std::move(atoms));
 }
 

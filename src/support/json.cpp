@@ -31,7 +31,13 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string json_quote(const std::string& s) {
-  return "\"" + json_escape(s) + "\"";
+  // Built via += (not "\"" + escaped + "\""): g++ 12's -Wrestrict misfires
+  // on the literal+temporary operator+ chain at -O2 (GCC PR105329), and
+  // the CI warnings-as-errors job builds Release.
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
 }
 
 }  // namespace pwcet

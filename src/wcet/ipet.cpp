@@ -10,9 +10,14 @@ IpetCalculator::IpetCalculator(const Program& program) : program_(program) {
   const ControlFlowGraph& cfg = program.cfg();
 
   edge_var_.resize(cfg.edge_count());
-  for (const CfgEdge& e : cfg.edges())
-    edge_var_[size_t(e.id)] =
-        lp_.add_variable("e" + std::to_string(e.id), /*integral=*/true);
+  for (const CfgEdge& e : cfg.edges()) {
+    // Built via += (not "e" + to_string): g++ 12's -Wrestrict misfires on
+    // the literal+temporary operator+ chain at -O2 (GCC PR105329), and the
+    // CI warnings-as-errors job builds Release.
+    std::string name = "e";
+    name += std::to_string(e.id);
+    edge_var_[size_t(e.id)] = lp_.add_variable(name, /*integral=*/true);
+  }
   virtual_entry_ = lp_.add_variable("entry", /*integral=*/true);
 
   // Virtual entry executes exactly once.

@@ -26,8 +26,11 @@ class Generator {
           static_cast<std::uint32_t>(rng_.next_below(params_.max_functions));
       for (std::uint32_t f = 0; f < n_callees; ++f) {
         // Callee bodies are shallow (depth 2) to keep inlining bounded.
-        callees_.push_back(b.add_function("f" + std::to_string(f),
-                                          stmt(b, /*depth=*/2)));
+        // (Name built via += — g++ 12 -Wrestrict misfire on literal+temp
+        // operator+ at -O2, GCC PR105329; CI builds Release with -Werror.)
+        std::string name = "f";
+        name += std::to_string(f);
+        callees_.push_back(b.add_function(name, stmt(b, /*depth=*/2)));
       }
       b.add_function("main", stmt(b, params_.max_depth));
       Program p = b.build(static_cast<FunctionId>(callees_.size()));

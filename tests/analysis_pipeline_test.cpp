@@ -1,0 +1,303 @@
+// Tests for the domain-pluggable pipeline (src/analysis/): the store-key
+// compatibility contract — the refactored key chain is pinned against hex
+// values captured from the pre-pipeline analyzers, so memo entries and
+// disk artifacts written before the refactor keep resolving after it —
+// and N-domain composition: a synthetic third CacheDomain registered here
+// composes with the two shipped plugins and stays byte-identical at any
+// thread count, store on/off, cold or warm.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dcache_domain.hpp"
+#include "analysis/icache_domain.hpp"
+#include "analysis/pipeline.hpp"
+#include "core/pwcet_analyzer.hpp"
+#include "dcache/dcache_analysis.hpp"
+#include "engine/thread_pool.hpp"
+#include "store/analysis_store.hpp"
+#include "store/artifact_store.hpp"
+#include "workloads/malardalen.hpp"
+
+namespace pwcet {
+namespace {
+
+namespace fs = std::filesystem;
+
+CacheConfig small_dcache() {
+  CacheConfig dc = CacheConfig::paper_default();
+  dc.sets = 8;
+  dc.ways = 2;
+  return dc;
+}
+
+// ---- pre-refactor golden keys ----------------------------------------------
+
+// Hex values captured from the pre-pipeline PwcetAnalyzer /
+// CombinedPwcetAnalyzer on this exact input (fibcall, the paper-default
+// icache, the 8x2 dcache above). If one of these fails, the refactored
+// key chain drifted from the historical recipes and every store written
+// before the change silently turns into misses — revert the drift (or,
+// for an *intentional* semantic change, bump the recipe version tags and
+// ArtifactStore::kFormatVersion, then re-pin).
+TEST(PipelineGoldenKeys, CoreKeysMatchPreRefactorValues) {
+  const Program p = workloads::build("fibcall");
+  const CacheConfig ic = CacheConfig::paper_default();
+
+  EXPECT_EQ(pwcet_core_key(p, ic, WcetEngine::kIlp).hex(),
+            "cc02c7097bbec7aac3765c1f0b70271e");
+  EXPECT_EQ(pwcet_core_key(p, ic, WcetEngine::kTree).hex(),
+            "e7bdbda527acf914ba3e580b6a9cee7a");
+
+  // The facades' core keys are the pipeline keys of the two shipped
+  // compositions — both must reproduce the historical recipes.
+  const PwcetAnalyzer single(p, ic);
+  EXPECT_EQ(single.core_key().hex(), "cc02c7097bbec7aac3765c1f0b70271e");
+  const CombinedPwcetAnalyzer combined(p, ic, small_dcache());
+  EXPECT_EQ(combined.core_key().hex(), "9fb50b765ec8ffff8199eff92bcfb640");
+
+  // Row-prefix sub-domains: the icache domain shares the single-cache
+  // core recipe (so both analyzer flavours share memoized rows); the
+  // dcache domain owns a distinct prefix (a data reference map must never
+  // alias an instruction one).
+  EXPECT_EQ(IcacheDomain(ic).row_key_prefix(p, WcetEngine::kIlp),
+            pwcet_core_key(p, ic, WcetEngine::kIlp));
+  EXPECT_EQ(DcacheDomain(small_dcache())
+                .row_key_prefix(p, WcetEngine::kIlp)
+                .hex(),
+            "7b8a4afc2cfa84fd06e74c06e57244f1");
+
+  // Per-set penalty layer: content-addressed on (miss penalty, pwf, FMM
+  // row) — the recipe build_penalty_distribution keys the memo with.
+  EXPECT_EQ(KeyHasher("set-penalty-v1")
+                .mix_i64(10)
+                .mix_doubles({0.5, 0.25, 0.25})
+                .mix_doubles({0.0, 2.0, 5.0})
+                .finish()
+                .hex(),
+            "160e51255b1fffc3311d0ddc4463cf24");
+}
+
+TEST(PipelineGoldenKeys, ResultArtifactsLandOnPreRefactorKeys) {
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("pwcet_pipeline_keys_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  const Program p = workloads::build("fibcall");
+  StoreOptions disk_options;
+  disk_options.artifact_dir = dir;
+  AnalysisStore store(disk_options);
+  PwcetOptions options;
+  options.store = &store;
+  const FaultModel faults(1e-4);
+
+  // The per-result disk artifacts are addressed by the live result keys;
+  // their file names therefore pin the exact key bytes analyze() chains
+  // (core key x mechanisms x pfail x coalescing budget).
+  const PwcetAnalyzer single(p, CacheConfig::paper_default(), options);
+  single.analyze(faults, Mechanism::kSharedReliableBuffer);
+  EXPECT_TRUE(fs::exists(
+      fs::path(dir) / "distribution" /
+      "8942d3694dac48474a8407b5414c1cb9.jsonl"));
+
+  const CombinedPwcetAnalyzer combined(p, CacheConfig::paper_default(),
+                                       small_dcache(), options);
+  combined.analyze_mixed(faults, Mechanism::kReliableWay,
+                         Mechanism::kSharedReliableBuffer);
+  EXPECT_TRUE(fs::exists(
+      fs::path(dir) / "distribution" /
+      "7e58309b965fdef2b11b38445e742623.jsonl"));
+
+  fs::remove_all(dir);
+}
+
+TEST(PipelineGoldenKeys, NumericResultsMatchPreRefactorValues) {
+  const Program p = workloads::build("fibcall");
+  const FaultModel faults(1e-4);
+
+  const PwcetAnalyzer single(p, CacheConfig::paper_default());
+  EXPECT_EQ(single.fault_free_wcet(), 8188u);
+  EXPECT_EQ(
+      single.analyze(faults, Mechanism::kSharedReliableBuffer).pwcet(1e-15),
+      14088u);
+
+  const CombinedPwcetAnalyzer combined(p, CacheConfig::paper_default(),
+                                       small_dcache());
+  EXPECT_EQ(combined.fault_free_wcet(), 8188u);
+  EXPECT_EQ(combined
+                .analyze_mixed(faults, Mechanism::kReliableWay,
+                               Mechanism::kSharedReliableBuffer)
+                .pwcet(1e-15),
+            8188u);
+}
+
+// ---- synthetic third domain -------------------------------------------------
+
+/// A TLB-like third cache domain: the instruction-fetch stream analyzed
+/// against its own tiny geometry. Contributes nothing to the fault-free
+/// time model (its hits are free by construction) but its faulty-way
+/// penalty convolves into the combined distribution — a minimal but
+/// complete plugin (~40 lines), exactly what a shared-L2 / scratchpad /
+/// per-core-split scenario would add.
+class TlbDomain final : public CacheDomain {
+ public:
+  TlbDomain() {
+    config_.sets = 4;
+    config_.ways = 2;
+    config_.line_bytes = 32;
+    config_.hit_latency = 0;
+    config_.miss_penalty = 7;
+    config_.validate();
+  }
+
+  std::string_view name() const override { return "test-tlb"; }
+  const CacheConfig& config() const override { return config_; }
+  bool standalone() const override { return false; }
+
+  // A synthetic domain must separate its store sub-domains itself: its
+  // reference semantics differ from the shipped domains', so neither its
+  // core-key contribution nor its row prefix may alias theirs.
+  void mix_core_key(KeyHasher& hasher) const override {
+    hasher.mix_string("test-tlb-v1");
+    hasher.mix_key(hash_cache_config(config_));
+  }
+  StoreKey row_key_prefix(const Program& program,
+                          WcetEngine engine) const override {
+    return KeyHasher("test-tlb-rows-v1")
+        .mix_key(hash_program(program))
+        .mix_key(hash_cache_config(config_))
+        .mix_u64(static_cast<std::uint64_t>(engine))
+        .finish();
+  }
+
+  ReferenceMap extract(const Program& program) const override {
+    return extract_references(program.cfg(), config_);
+  }
+  CostModel time_cost_model(const Program& program, const ReferenceMap&,
+                            const ClassificationMap&) const override {
+    return CostModel::zero(program.cfg());
+  }
+
+ private:
+  CacheConfig config_;
+};
+
+std::vector<std::shared_ptr<const CacheDomain>> three_domains() {
+  return {std::make_shared<const IcacheDomain>(CacheConfig::paper_default()),
+          std::make_shared<const DcacheDomain>(small_dcache()),
+          std::make_shared<const TlbDomain>()};
+}
+
+// One distinct mechanism per domain; the TLB runs unprotected so its
+// catastrophic fully-faulty column contributes a visible penalty tail.
+const std::vector<Mechanism> kMixedMechanisms = {
+    Mechanism::kSharedReliableBuffer, Mechanism::kReliableWay,
+    Mechanism::kNone};
+
+TEST(ThirdDomain, ComposesWithTheShippedTwo) {
+  const Program p = workloads::build("fibcall");
+  const FaultModel faults(1e-3);
+
+  const PwcetPipeline three(p, three_domains());
+  const CombinedPwcetAnalyzer two(p, CacheConfig::paper_default(),
+                                  small_dcache());
+
+  // The TLB charges no fault-free cycles, so the single summed
+  // maximization reproduces the two-domain WCET...
+  EXPECT_EQ(three.fault_free_wcet(), two.fault_free_wcet());
+  // ...but its core key must not collide with the two-domain composition,
+  EXPECT_NE(three.core_key(), two.core_key());
+  // ...and its faulty behaviour convolves into the penalty tail.
+  const PwcetResult with_tlb = three.analyze(faults, kMixedMechanisms);
+  const PwcetResult without =
+      two.analyze_mixed(faults, kMixedMechanisms[0], kMixedMechanisms[1]);
+  EXPECT_GT(with_tlb.penalty.max_value(), without.penalty.max_value());
+  EXPECT_GE(with_tlb.pwcet(1e-15), without.pwcet(1e-15));
+  EXPECT_NEAR(with_tlb.penalty.total_mass(), 1.0, 1e-9);
+}
+
+TEST(ThirdDomain, ByteIdenticalAtAnyThreadCountStoreOnOffColdWarm) {
+  const Program p = workloads::build("fibcall");
+  const FaultModel faults(1e-3);
+  const auto domains = three_domains();
+
+  // Baseline: serial, no store.
+  const PwcetPipeline baseline(p, domains);
+  const PwcetResult base = baseline.analyze(faults, kMixedMechanisms);
+
+  // N threads (oversubscription on narrow hosts is harmless — the
+  // convolution tree and set partitioning are fixed-shape).
+  ThreadPool pool(3);
+  PwcetOptions pooled_options;
+  pooled_options.pool = &pool;
+  const PwcetPipeline pooled(p, domains, pooled_options);
+  const PwcetResult wide = pooled.analyze(faults, kMixedMechanisms);
+  EXPECT_EQ(base.fault_free_wcet, wide.fault_free_wcet);
+  EXPECT_EQ(base.penalty, wide.penalty);
+
+  // Store on: cold compute, then a warm pipeline whose core and result
+  // come entirely from the memo.
+  AnalysisStore store;
+  PwcetOptions stored_options;
+  stored_options.store = &store;
+  const PwcetPipeline cold(p, domains, stored_options);
+  const PwcetResult cold_result = cold.analyze(faults, kMixedMechanisms);
+  const PwcetPipeline warm(p, domains, stored_options);
+  const PwcetResult warm_result = warm.analyze(faults, kMixedMechanisms);
+  EXPECT_EQ(base.penalty, cold_result.penalty);
+  EXPECT_EQ(base.penalty, warm_result.penalty);
+  EXPECT_GT(store.stats().hits, 0u);
+
+  // Disk tier: two stores with fresh memos sharing one artifact
+  // directory simulate separate processes; the second run's penalty is
+  // answered from the persisted artifact, byte-identically.
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("pwcet_pipeline_disk_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  StoreOptions disk_options;
+  disk_options.artifact_dir = dir;
+  {
+    AnalysisStore run1(disk_options), run2(disk_options);
+    PwcetOptions opt1, opt2;
+    opt1.store = &run1;
+    opt2.store = &run2;
+    const PwcetResult first =
+        PwcetPipeline(p, domains, opt1).analyze(faults, kMixedMechanisms);
+    const PwcetResult second =
+        PwcetPipeline(p, domains, opt2).analyze(faults, kMixedMechanisms);
+    EXPECT_EQ(base.penalty, first.penalty);
+    EXPECT_EQ(base.penalty, second.penalty);
+    EXPECT_GT(run2.stats().disk_hits, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ThirdDomain, UniformMechanismOverloadAppliesToEveryDomain) {
+  const Program p = workloads::build("fibcall");
+  const FaultModel faults(1e-3);
+  const PwcetPipeline three(p, three_domains());
+  const PwcetResult uniform = three.analyze(faults, Mechanism::kReliableWay);
+  const PwcetResult explicit_vector = three.analyze(
+      faults, {Mechanism::kReliableWay, Mechanism::kReliableWay,
+               Mechanism::kReliableWay});
+  EXPECT_EQ(uniform.penalty, explicit_vector.penalty);
+  EXPECT_EQ(uniform.fault_free_wcet, explicit_vector.fault_free_wcet);
+}
+
+TEST(ThirdDomain, SecondaryDomainsCannotLeadAPipeline) {
+  const Program p = workloads::build("fibcall");
+  EXPECT_DEATH(
+      PwcetPipeline(p, {std::make_shared<const DcacheDomain>(small_dcache())}),
+      "standalone");
+}
+
+}  // namespace
+}  // namespace pwcet

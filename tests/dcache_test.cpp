@@ -2,6 +2,7 @@
 // simulator-backed soundness of the data-side FMM.
 #include <gtest/gtest.h>
 
+#include "core/pwcet_analyzer.hpp"
 #include "dcache/dcache_analysis.hpp"
 #include "sim/cache_sim.hpp"
 #include "sim/path.hpp"
