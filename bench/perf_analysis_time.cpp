@@ -8,7 +8,9 @@
 // threads, with the byte-identity of the two reports checked on the spot,
 // and the content-addressed store's effect: the same campaign re-run warm
 // on a shared store (memo hit-rate, entries, warm vs cold wall-clock, and
-// byte-identity of the warm report). The campaign numbers are emitted as
+// byte-identity of the warm report), plus a per-phase wall-time breakdown
+// from the obs metrics registry (src/obs/) with the enabled-collection
+// overhead ratio. The campaign numbers are emitted as
 // machine-readable JSON (BENCH_perf_analysis_time.json at the repo root,
 // where it is committed, and stdout) so the perf trajectory can be
 // tracked across PRs.
@@ -22,6 +24,7 @@
 #include "core/pwcet_analyzer.hpp"
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
+#include "obs/phase.hpp"
 #include "store/analysis_store.hpp"
 #include "wcet/cost_model.hpp"
 #include "wcet/ipet.hpp"
@@ -182,13 +185,49 @@ bool run_campaign_scaling(std::FILE* json) {
   const CampaignResult cold = run_campaign(spec, stored);
   const CampaignResult warm = run_campaign(spec, stored);
 
+  // Per-phase attribution (the observability layer's point): one more cold
+  // serial run with the metrics registry armed. Its report must still be
+  // byte-identical — metrics are observation-only — and its wall-clock
+  // against the unobserved serial run bounds the *enabled* collection
+  // overhead (the disabled case is two relaxed loads per probe and is not
+  // measurable at this granularity).
+  AnalysisStore obs_store;
+  RunnerOptions instrumented = serial;
+  instrumented.shared_store = &obs_store;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.clear();
+  registry.enable();
+  const CampaignResult observed = run_campaign(spec, instrumented);
+  registry.disable();
+
+  const char* phase_names[] = {
+      obs::phase_name::kCore,     obs::phase_name::kExtract,
+      obs::phase_name::kClassify, obs::phase_name::kMaximize,
+      obs::phase_name::kFmm,      obs::phase_name::kAnalyze,
+      obs::phase_name::kPwf,      obs::phase_name::kPenalty,
+      obs::phase_name::kConvolve,
+  };
+  std::string phases = "{";
+  for (const char* name : phase_names) {
+    double total_ms = 0.0;
+    for (const auto& h : registry.histograms())
+      if (h.name == name) total_ms = h.snapshot.sum_ns / 1e6;
+    char cell[96];
+    std::snprintf(cell, sizeof cell, "%s\"%s\":%.3f",
+                  phases.size() > 1 ? "," : "", name, total_ms);
+    phases += cell;
+  }
+  phases += '}';
+  registry.clear();
+
   const std::string base_csv = report_csv(base);
   const bool identical = base_csv == report_csv(wide) &&
                          report_jsonl(base) == report_jsonl(wide) &&
                          base_csv == report_csv(cold) &&
-                         base_csv == report_csv(warm);
+                         base_csv == report_csv(warm) &&
+                         base_csv == report_csv(observed);
 
-  char line[1024];
+  char line[2048];
   std::snprintf(
       line, sizeof line,
       "{\"name\":\"geometry_sweep_campaign\",\"jobs\":%zu,"
@@ -200,6 +239,7 @@ bool run_campaign_scaling(std::FILE* json) {
       "\"store_cold_hits\":%llu,\"store_cold_misses\":%llu,"
       "\"store_warm_hits\":%llu,\"store_warm_misses\":%llu,"
       "\"store_warm_hit_rate\":%.3f,\"store_memo_entries\":%llu,"
+      "\"phases_ms\":%s,\"obs_overhead_ratio\":%.3f,"
       "\"reports_identical\":%s}\n",
       base.results.size(), wide.threads_used,
       std::thread::hardware_concurrency(), base.wall_seconds,
@@ -212,6 +252,7 @@ bool run_campaign_scaling(std::FILE* json) {
       static_cast<unsigned long long>(warm.store_stats.misses),
       warm.store_stats.hit_rate(),
       static_cast<unsigned long long>(warm.store_stats.entries),
+      phases.c_str(), observed.wall_seconds / base.wall_seconds,
       identical ? "true" : "false");
   std::fputs(line, stdout);
   if (json != nullptr) std::fputs(line, json);

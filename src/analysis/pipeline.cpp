@@ -6,6 +6,7 @@
 
 #include "analysis/icache_domain.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/phase.hpp"
 #include "store/analysis_store.hpp"
 #include "support/contracts.hpp"
 #include "wcet/ipet.hpp"
@@ -70,6 +71,7 @@ DiscreteDistribution build_penalty_distribution(
     const FaultMissMap& fmm, const CacheConfig& config,
     const std::vector<Probability>& pwf, std::size_t max_points,
     ThreadPool* pool, AnalysisStore* store) {
+  obs::ScopedPhase penalty_phase(obs::phase_name::kPenalty);
   // Per-set penalty distribution: one atom per possible fault count
   // (paper Fig. 1.b), value = miss_penalty * FMM[s][f].
   auto build_set_cold = [&](std::size_t s) {
@@ -97,7 +99,7 @@ DiscreteDistribution build_penalty_distribution(
                              .mix_doubles(fmm.misses[s])
                              .finish();
     return *store->memo().get_or_compute<DiscreteDistribution>(
-        key, [&] { return build_set_cold(s); });
+        key, [&] { return build_set_cold(s); }, "set-penalty");
   };
 
   // Sets are independent (Fig. 1.b): combine by convolution, pairwise so
@@ -111,6 +113,7 @@ DiscreteDistribution build_penalty_distribution(
     for (SetIndex s = 0; s < config.sets; ++s)
       per_set.push_back(build_set(s));
   }
+  obs::ScopedPhase convolve_phase(obs::phase_name::kConvolve);
   return convolve_all_tree(per_set, max_points, pool);
 }
 
@@ -128,10 +131,14 @@ PwcetPipeline::PwcetPipeline(
   // memo hit the constructor does no analysis work at all — not even the
   // reference extraction — just the structural hashes above.
   auto compute_core = [&] {
+    obs::ScopedPhase core_phase(obs::phase_name::kCore);
     std::vector<ReferenceMap> refs;
-    refs.reserve(domains_.size());
-    for (const auto& domain : domains_)
-      refs.push_back(domain->extract(program_));
+    {
+      obs::ScopedPhase phase(obs::phase_name::kExtract);
+      refs.reserve(domains_.size());
+      for (const auto& domain : domains_)
+        refs.push_back(domain->extract(program_));
+    }
 
     std::unique_ptr<IpetCalculator> ipet;
     if (options_.engine == WcetEngine::kIlp)
@@ -140,40 +147,50 @@ PwcetPipeline::PwcetPipeline(
     // One classification per domain, one summed time model, one phase-1
     // maximization bounding the whole program.
     CostModel total;
-    for (std::size_t i = 0; i < domains_.size(); ++i) {
-      const ClassificationMap cls = domains_[i]->classify(program_, refs[i]);
-      CostModel contribution =
-          domains_[i]->time_cost_model(program_, refs[i], cls);
-      if (i == 0)
-        total = std::move(contribution);
-      else
-        add_cost_model(total, contribution);
+    {
+      obs::ScopedPhase phase(obs::phase_name::kClassify);
+      for (std::size_t i = 0; i < domains_.size(); ++i) {
+        const ClassificationMap cls =
+            domains_[i]->classify(program_, refs[i]);
+        CostModel contribution =
+            domains_[i]->time_cost_model(program_, refs[i], cls);
+        if (i == 0)
+          total = std::move(contribution);
+        else
+          add_cost_model(total, contribution);
+      }
     }
 
     double wcet = 0.0;
-    if (options_.engine == WcetEngine::kIlp)
-      wcet = ipet->maximize(total).objective;
-    else
-      wcet = tree_maximize(program_, total);
+    {
+      obs::ScopedPhase phase(obs::phase_name::kMaximize);
+      if (options_.engine == WcetEngine::kIlp)
+        wcet = ipet->maximize(total).objective;
+      else
+        wcet = tree_maximize(program_, total);
+    }
 
     PipelineCore core;
     // The time model is integral; ceil absorbs LP round-off soundly.
     core.fault_free_wcet = static_cast<Cycles>(std::ceil(wcet - 1e-6));
-    core.fmms.reserve(domains_.size());
-    for (std::size_t i = 0; i < domains_.size(); ++i) {
-      const StoreKey row_prefix =
-          domains_[i]->row_key_prefix(program_, options_.engine);
-      core.fmms.push_back(domains_[i]->fmm_bundle(
-          program_, refs[i], options_.engine, ipet.get(), options_.pool,
-          options_.store, &row_prefix));
+    {
+      obs::ScopedPhase phase(obs::phase_name::kFmm);
+      core.fmms.reserve(domains_.size());
+      for (std::size_t i = 0; i < domains_.size(); ++i) {
+        const StoreKey row_prefix =
+            domains_[i]->row_key_prefix(program_, options_.engine);
+        core.fmms.push_back(domains_[i]->fmm_bundle(
+            program_, refs[i], options_.engine, ipet.get(), options_.pool,
+            options_.store, &row_prefix));
+      }
     }
     return core;
   };
 
   if (options_.store != nullptr) {
     const std::shared_ptr<const PipelineCore> core =
-        options_.store->memo().get_or_compute<PipelineCore>(core_key_,
-                                                            compute_core);
+        options_.store->memo().get_or_compute<PipelineCore>(
+            core_key_, compute_core, "core");
     fault_free_wcet_ = core->fault_free_wcet;
     fmms_ = core->fmms;
   } else {
@@ -210,10 +227,14 @@ PwcetResult PwcetPipeline::analyze(
                      .mix_u64(options_.max_distribution_points)
                      .finish();
     if (const std::shared_ptr<const void> hit =
-            store->memo().get(result_key))
+            store->memo().get(result_key, "result"))
       return *std::static_pointer_cast<const PwcetResult>(hit);
   }
 
+  // The span covers the memo-miss path only: a memo hit does no analysis
+  // work worth a sample, and the artifact-load escape below is disk time
+  // the store counters already attribute.
+  obs::ScopedPhase analyze_phase(obs::phase_name::kAnalyze);
   PwcetResult result;
   result.mechanism = mechanisms.front();
   result.fault_free_wcet = fault_free_wcet_;
@@ -227,9 +248,20 @@ PwcetResult PwcetPipeline::analyze(
             store->artifacts()->load_distribution(result_key)) {
       result.penalty = *std::move(penalty);
       store->memo().put(result_key,
-                        std::make_shared<const PwcetResult>(result));
+                        std::make_shared<const PwcetResult>(result), "result");
       return result;
     }
+  }
+
+  // The pwf weighting vectors (Eq. 2/3) for every domain, hoisted ahead of
+  // the penalty builds so the phase is visible on its own. pwf is a pure
+  // function of (faults, mechanism), so hoisting cannot change the bits.
+  std::vector<std::vector<Probability>> pwfs;
+  {
+    obs::ScopedPhase phase(obs::phase_name::kPwf);
+    pwfs.reserve(domains_.size());
+    for (std::size_t i = 0; i < domains_.size(); ++i)
+      pwfs.push_back(domains_[i]->pwf(faults, mechanisms[i]));
   }
 
   // Each domain's penalty runs through the shared per-set pipeline
@@ -238,13 +270,11 @@ PwcetResult PwcetPipeline::analyze(
   // independent — so the cross-domain penalty is the convolution, folded
   // in domain order with the same coalescing budget.
   DiscreteDistribution penalty = build_penalty_distribution(
-      fmms_[0].of(mechanisms[0]), domains_[0]->config(),
-      domains_[0]->pwf(faults, mechanisms[0]),
+      fmms_[0].of(mechanisms[0]), domains_[0]->config(), pwfs[0],
       options_.max_distribution_points, options_.pool, store);
   for (std::size_t i = 1; i < domains_.size(); ++i) {
     const DiscreteDistribution domain_penalty = build_penalty_distribution(
-        fmms_[i].of(mechanisms[i]), domains_[i]->config(),
-        domains_[i]->pwf(faults, mechanisms[i]),
+        fmms_[i].of(mechanisms[i]), domains_[i]->config(), pwfs[i],
         options_.max_distribution_points, options_.pool, store);
     penalty = penalty.convolve(domain_penalty)
                   .coalesce_up(options_.max_distribution_points);
@@ -255,7 +285,7 @@ PwcetResult PwcetPipeline::analyze(
     if (store->artifacts() != nullptr)
       store->artifacts()->store_distribution(result_key, result.penalty);
     store->memo().put(result_key,
-                      std::make_shared<const PwcetResult>(result));
+                      std::make_shared<const PwcetResult>(result), "result");
   }
   return result;
 }

@@ -1,11 +1,16 @@
 #include "cli/cli.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <vector>
@@ -14,6 +19,10 @@
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
 #include "engine/spec_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
+#include "support/json_doc.hpp"
 #include "support/table.hpp"
 #include "workloads/malardalen.hpp"
 
@@ -35,10 +44,22 @@ constexpr const char* kUsage =
     "      --output BASE     write BASE.csv and BASE.jsonl (plus\n"
     "                        BASE.dist.{csv,jsonl} for distribution\n"
     "                        campaigns) instead of printing the report\n"
+    "      --trace-out FILE  record phase/engine spans and write them as\n"
+    "                        Chrome trace-event JSON (open in Perfetto)\n"
+    "      --metrics-out FILE\n"
+    "                        record counters + duration histograms and\n"
+    "                        write them as a JSON snapshot\n"
+    "      --profile         print a per-phase wall-time and counter\n"
+    "                        profile on stderr after the run\n"
+    "      --progress        live completed/total counter with ETA on\n"
+    "                        stderr (only when stderr is a terminal;\n"
+    "                        --progress=force overrides)\n"
     "  describe <spec.json>  print the expanded job grid without running\n"
     "  list                  built-in tasks, mechanisms, engines, kinds\n"
     "  cache stats|clear     inspect or empty an artifact cache directory\n"
     "      --cache-dir DIR   cache directory (default: $PWCET_CACHE_DIR)\n"
+    "      --metrics FILE    (stats) also render the per-layer store\n"
+    "                        counters of a --metrics-out snapshot\n"
     "\n"
     "Spec files are documented in docs/campaign-spec.md; ready-made paper\n"
     "campaigns ship under specs/.\n";
@@ -49,6 +70,12 @@ struct Flag {
   std::string name;
   std::string value;
 };
+
+/// Flags that stand alone (`--profile`), though `--flag=value` still
+/// attaches a value (`--progress=force`).
+bool boolean_flag(const std::string& name) {
+  return name == "--profile" || name == "--progress";
+}
 
 /// Splits args into positionals and flags. Returns false (after printing a
 /// diagnostic) when a flag is missing its value.
@@ -64,6 +91,10 @@ bool split_args(const std::vector<std::string>& args,
     const std::size_t equals = arg.find('=');
     if (equals != std::string::npos) {
       flags.push_back({arg.substr(0, equals), arg.substr(equals + 1)});
+      continue;
+    }
+    if (boolean_flag(arg)) {
+      flags.push_back({arg, ""});
       continue;
     }
     if (i + 1 >= args.size()) {
@@ -90,6 +121,61 @@ std::string geometry_label(const CacheConfig& g) {
 
 // ---- pwcet run ------------------------------------------------------------
 
+/// Arms the process-wide tracer/metrics for one run and guarantees both
+/// are disarmed again on every exit path (including exceptions), so a CLI
+/// invocation can never leak an enabled collector into the next one —
+/// cli::run is a library entry point called repeatedly in-process by the
+/// tests. Collected data survives disarming for the post-run export.
+struct ObsSession {
+  bool tracing = false;
+  bool metering = false;
+
+  void arm(bool trace, bool meter) {
+    tracing = trace;
+    metering = meter;
+    if (tracing) {
+      obs::Tracer::instance().clear();
+      obs::Tracer::instance().enable();
+    }
+    if (metering) {
+      obs::MetricsRegistry::instance().clear();
+      obs::MetricsRegistry::instance().enable();
+    }
+  }
+
+  ~ObsSession() {
+    if (tracing) obs::Tracer::instance().disable();
+    if (metering) obs::MetricsRegistry::instance().disable();
+  }
+};
+
+std::string fmt_ms(std::uint64_t ns) { return fmt_double(ns / 1e6, 3); }
+
+/// The --profile table: wall time per span name (from the duration
+/// histograms) plus every non-zero counter. Durations are wall-clock and
+/// vary run to run; the counter section is deterministic for a fixed
+/// single-threaded cold-store spec.
+void render_profile(std::ostream& err) {
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+
+  TextTable spans({"span", "count", "total ms", "mean ms", "min ms",
+                   "max ms"});
+  for (const obs::MetricsRegistry::NamedHistogram& h :
+       registry.histograms()) {
+    const auto& s = h.snapshot;
+    if (s.count == 0) continue;
+    spans.add_row({h.name, std::to_string(s.count), fmt_ms(s.sum_ns),
+                   fmt_ms(s.count == 0 ? 0 : s.sum_ns / s.count),
+                   fmt_ms(s.min_ns), fmt_ms(s.max_ns)});
+  }
+  err << "\nprofile: wall time per span\n" << spans.to_string();
+
+  TextTable counters({"counter", "value"});
+  for (const auto& [name, value] : registry.counters())
+    if (value != 0) counters.add_row({name, std::to_string(value)});
+  err << "\nprofile: counters\n" << counters.to_string();
+}
+
 int cmd_run(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   std::vector<std::string> positionals;
@@ -104,6 +190,11 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   std::string format = "csv";
   bool format_set = false;
   std::string output;
+  std::string trace_out;
+  std::string metrics_out;
+  bool profile = false;
+  bool progress = false;
+  bool progress_force = false;
   enum class StoreFlag { kDefault, kOn, kOff };
   StoreFlag store_flag = StoreFlag::kDefault;  // last --store wins
   for (const Flag& flag : flags) {
@@ -133,6 +224,24 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
       format_set = true;
     } else if (flag.name == "--output") {
       output = flag.value;
+    } else if (flag.name == "--trace-out") {
+      trace_out = flag.value;
+    } else if (flag.name == "--metrics-out") {
+      metrics_out = flag.value;
+    } else if (flag.name == "--profile") {
+      if (!flag.value.empty()) {
+        err << "pwcet: --profile takes no value\n";
+        return 2;
+      }
+      profile = true;
+    } else if (flag.name == "--progress") {
+      if (flag.value == "force") {
+        progress_force = true;
+      } else if (!flag.value.empty()) {
+        err << "pwcet: --progress takes no value (or '=force')\n";
+        return 2;
+      }
+      progress = true;
     } else {
       err << "pwcet: unknown option '" << flag.name << "' for run\n" << kUsage;
       return 2;
@@ -174,7 +283,37 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
         << "\"ccdf_exceedances\" (this one has no distribution sink)\n";
     return 1;
   }
+
+  // Observability is armed only for this run and disarmed on every exit
+  // path; the report below is byte-identical either way (observation-only
+  // contract, obs/tracer.hpp).
+  ObsSession obs_session;
+  obs_session.arm(!trace_out.empty(), !metrics_out.empty() || profile);
+
+  // --progress animates on stderr, so it must stay off when stderr is not
+  // a terminal (redirected runs, every test) unless forced.
+  obs::ProgressMeter meter(
+      expand_campaign(doc.spec).size(), err,
+      progress && (progress_force || ::isatty(STDERR_FILENO) != 0));
+  if (progress)
+    options.on_job_finished = [&meter] { meter.job_finished(); };
+
   const CampaignResult campaign = run_campaign(doc.spec, options);
+  meter.finish();
+
+  if (obs_session.tracing) {
+    obs::Tracer::instance().disable();
+    if (!obs::Tracer::instance().write_json(trace_out)) {
+      err << "pwcet: failed to write trace file " << trace_out << "\n";
+      return 1;
+    }
+  }
+  if (obs_session.metering) obs::MetricsRegistry::instance().disable();
+  if (!metrics_out.empty() &&
+      !obs::MetricsRegistry::instance().write_json(metrics_out)) {
+    err << "pwcet: failed to write metrics file " << metrics_out << "\n";
+    return 1;
+  }
 
   if (!output.empty()) {
     if (!write_report_files(campaign, output)) {
@@ -201,10 +340,17 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
              campaign.wall_seconds, 2)
       << "s; store: " << campaign.store_stats.hits << " hits / "
       << campaign.store_stats.misses << " misses";
-  if (campaign.store_stats.disk_hits + campaign.store_stats.disk_writes > 0)
+  // Disk loads that missed are real work too (each one fell through to a
+  // recompute), so the aggregate names all three flows, not just the
+  // successes.
+  if (campaign.store_stats.disk_hits + campaign.store_stats.disk_misses +
+          campaign.store_stats.disk_writes >
+      0)
     err << "; disk: " << campaign.store_stats.disk_hits << " hits / "
+        << campaign.store_stats.disk_misses << " misses / "
         << campaign.store_stats.disk_writes << " writes";
   err << "]\n";
+  if (profile) render_profile(err);
   if (!output.empty()) {
     err << "wrote " << output << ".csv and " << output << ".jsonl";
     if (!doc.spec.ccdf_exceedances.empty())
@@ -302,26 +448,67 @@ int cmd_list(const std::vector<std::string>& args, std::ostream& out,
 
 // ---- pwcet cache ----------------------------------------------------------
 
-/// Resolves the cache directory for `pwcet cache`: the explicit flag wins,
-/// then $PWCET_CACHE_DIR; empty means "not configured".
-std::string resolve_cache_dir(const std::vector<Flag>& flags,
-                              std::ostream& err, bool& ok) {
-  std::string dir;
-  ok = true;
-  for (const Flag& flag : flags) {
-    if (flag.name == "--cache-dir") {
-      dir = flag.value;
-    } else {
-      err << "pwcet: unknown option '" << flag.name << "' for cache\n";
-      ok = false;
-      return dir;
+/// Renders the `store.<tier>.<layer>.<event>` counters of a --metrics-out
+/// snapshot as one per-layer table: memo rows (core / set-penalty / result
+/// / slack / fmm-rows) with hit/miss/eviction columns, disk rows (per
+/// artifact kind) with hit/miss/write columns. Returns false (after a
+/// diagnostic) when the file does not load or parse.
+bool render_store_counters(const std::string& path, std::ostream& out,
+                           std::ostream& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << "pwcet: cannot read metrics file " << path << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  const char* events[] = {"hits", "misses", "evictions", "writes"};
+  // (tier, layer) -> event -> count; std::map keeps row order stable.
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, std::uint64_t>>
+      rows;
+  try {
+    const Json doc = parse_json(text.str(), path);
+    if (doc.type != Json::Type::kObject)
+      throw JsonParseError(path + ": not a metrics snapshot (want object)");
+    const Json* counters = doc.find("counters");
+    if (counters == nullptr || counters->type != Json::Type::kObject)
+      throw JsonParseError(path +
+                           ": not a metrics snapshot (no \"counters\")");
+    for (const auto& [name, value] : counters->object) {
+      if (name.rfind("store.", 0) != 0) continue;
+      // store.<tier>.<layer>.<event> — layers may themselves contain dots
+      // (artifact kinds do not today, but be permissive): split off the
+      // first and last component, keep the middle as the layer.
+      const std::size_t tier_end = name.find('.', 6);
+      const std::size_t event_start = name.rfind('.');
+      if (tier_end == std::string::npos || event_start <= tier_end) continue;
+      if (value.type != Json::Type::kNumber || !value.integral) continue;
+      rows[{name.substr(6, tier_end - 6),
+            name.substr(tier_end + 1, event_start - tier_end - 1)}]
+          [name.substr(event_start + 1)] = value.integer;
     }
+  } catch (const JsonParseError& e) {
+    err << "pwcet: " << e.what() << "\n";
+    return false;
   }
-  if (dir.empty()) {
-    const char* env = std::getenv("PWCET_CACHE_DIR");
-    if (env != nullptr) dir = env;
+
+  TextTable table({"tier", "layer", "hits", "misses", "evictions",
+                   "writes"});
+  for (const auto& [key, counts] : rows) {
+    std::vector<std::string> cells = {key.first, key.second};
+    for (const char* event : events) {
+      const auto it = counts.find(event);
+      cells.push_back(it == counts.end() ? "-" : std::to_string(it->second));
+    }
+    table.add_row(std::move(cells));
   }
-  return dir;
+  out << "store counters (" << path << "):\n" << table.to_string();
+  if (rows.empty())
+    out << "  (no store.* counters in the snapshot — was the run recorded "
+           "with --metrics-out while the store was enabled?)\n";
+  return true;
 }
 
 int cmd_cache(const std::vector<std::string>& args, std::ostream& out,
@@ -334,9 +521,30 @@ int cmd_cache(const std::vector<std::string>& args, std::ostream& out,
     err << "pwcet: cache wants 'stats' or 'clear'\n" << kUsage;
     return 2;
   }
-  bool flags_ok = false;
-  const std::string dir = resolve_cache_dir(flags, err, flags_ok);
-  if (!flags_ok) return 2;
+  std::string dir;
+  std::string metrics_file;
+  for (const Flag& flag : flags) {
+    if (flag.name == "--cache-dir") {
+      dir = flag.value;
+    } else if (flag.name == "--metrics" && positionals[0] == "stats") {
+      metrics_file = flag.value;
+    } else {
+      err << "pwcet: unknown option '" << flag.name << "' for cache "
+          << positionals[0] << "\n";
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    const char* env = std::getenv("PWCET_CACHE_DIR");
+    if (env != nullptr) dir = env;
+  }
+
+  // A metrics snapshot is self-contained: render it even without a cache
+  // directory (the counters describe the memo tier too, which never
+  // touches disk).
+  if (!metrics_file.empty() && dir.empty())
+    return render_store_counters(metrics_file, out, err) ? 0 : 1;
+
   if (dir.empty()) {
     err << "pwcet: no cache directory: pass --cache-dir or set "
            "PWCET_CACHE_DIR\n";
@@ -347,6 +555,8 @@ int cmd_cache(const std::vector<std::string>& args, std::ostream& out,
   std::error_code ec;
   if (!fs::exists(dir, ec)) {
     out << "cache directory " << dir << " does not exist (nothing cached)\n";
+    if (!metrics_file.empty())
+      return render_store_counters(metrics_file, out, err) ? 0 : 1;
     return 0;
   }
 
@@ -401,6 +611,10 @@ int cmd_cache(const std::vector<std::string>& args, std::ostream& out,
     table.add_row({"total", std::to_string(total_files),
                    std::to_string(total_bytes)});
     out << "cache directory: " << dir << "\n" << table.to_string();
+    if (!metrics_file.empty()) {
+      out << "\n";
+      if (!render_store_counters(metrics_file, out, err)) return 1;
+    }
     return 0;
   }
 

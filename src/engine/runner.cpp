@@ -23,8 +23,10 @@
 #include "fault/fault_map.hpp"
 #include "icache/srb_analysis.hpp"
 #include "mbpta/mbpta.hpp"
+#include "obs/phase.hpp"
 #include "sim/cache_sim.hpp"
 #include "sim/path.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "wcet/cost_model.hpp"
@@ -220,8 +222,9 @@ JobResult run_slack_job(const CampaignJob& job, const Program& program,
             .mix_u64(static_cast<std::uint64_t>(job.mechanism))
             .finish();
     stats = *store->memo().get_or_compute<SlackStats>(
-        key, [&] { return compute_slack(program, job.geometry,
-                                        job.mechanism); });
+        key,
+        [&] { return compute_slack(program, job.geometry, job.mechanism); },
+        "slack");
   } else {
     stats = compute_slack(program, job.geometry, job.mechanism);
   }
@@ -322,8 +325,10 @@ bool parse_campaign_dist(const std::string& payload, std::size_t points,
 
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const RunnerOptions& options) {
+  obs::ScopedPhase campaign_phase(obs::engine_name::kCampaign, "engine");
   const auto started = std::chrono::steady_clock::now();
   const std::vector<CampaignJob> jobs = expand_campaign(spec);
+  obs::MetricsRegistry::instance().add("engine.jobs", jobs.size());
 
   // One store serves the whole campaign (callers can pass a longer-lived
   // one for warm reuse). Pool workers share it concurrently.
@@ -360,6 +365,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // ArtifactStore::kFormatVersion, which must be bumped whenever analysis
   // semantics change; workload content is hashed into the key.
   if (disk) {
+    obs::ScopedPhase warm_phase(obs::engine_name::kWarmLoad, "engine");
     const std::optional<std::string> cached =
         store->artifacts()->load_text("campaign-report", spec_key);
     bool complete = cached.has_value() &&
@@ -376,6 +382,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                                         started)
               .count();
       campaign.store_stats = store->stats().since(stats_before);
+      obs::MetricsRegistry::instance().add("engine.warm_loads");
+      // Every job is answered at once; keep progress consumers honest.
+      if (options.on_job_finished)
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+          options.on_job_finished();
       return campaign;
     }
   }
@@ -405,9 +416,29 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 
   std::vector<std::future<void>> futures;
   futures.reserve(ordered.size());
+  const bool observing = obs::Tracer::instance().enabled() ||
+                         obs::MetricsRegistry::instance().enabled();
   for (const auto& entry : ordered) {
+    // Submission timestamp, taken on the submitting thread: the delta to
+    // the task's first instruction is the group's queue wait.
+    const std::uint64_t submitted_ns = observing ? obs::monotonic_ns() : 0;
     futures.push_back(pool.submit([&spec, &jobs, &campaign, &pool, &options,
-                                   store, members = entry.second] {
+                                   store, submitted_ns, observing,
+                                   members = entry.second] {
+      obs::TraceSpan group_span(obs::engine_name::kGroup, "engine");
+      if (observing) {
+        const std::uint64_t wait_ns = obs::monotonic_ns() - submitted_ns;
+        obs::MetricsRegistry::instance().observe_ns("engine.queue_wait",
+                                                    wait_ns);
+        if (group_span.active()) {
+          char args[96];
+          std::snprintf(args, sizeof args,
+                        "\"jobs\":%zu,\"queue_wait_us\":%.1f",
+                        members->size(),
+                        static_cast<double>(wait_ns) / 1e3);
+          group_span.annotate(args);
+        }
+      }
       const CampaignJob& first = jobs[members->front()];
       const Program program = workloads::build(first.task);
 
@@ -425,6 +456,14 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 
       for (const std::size_t index : *members) {
         const CampaignJob& job = jobs[index];
+        obs::TraceSpan job_span(obs::engine_name::kJob, "engine");
+        if (job_span.active())
+          job_span.annotate("\"kind\":\"" + analysis_kind_name(job.kind) +
+                            "\",\"task\":" + json_quote(job.task));
+        if (observing) {
+          obs::MetricsRegistry::instance().add(
+              "engine.jobs." + analysis_kind_name(job.kind));
+        }
         switch (job.kind) {
           case AnalysisKind::kSpta:
             if (job.dcache.enabled) {
@@ -449,6 +488,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                                                     store);
             break;
         }
+        if (options.on_job_finished) options.on_job_finished();
       }
     }));
   }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,13 @@ struct RunnerOptions {
   /// — this is how warm re-runs are measured (bench/perf_analysis_time)
   /// and how long-lived services would share a cache across campaigns.
   AnalysisStore* shared_store = nullptr;
+  /// Observability hook: invoked once per completed job, from whichever
+  /// thread finished it (the callee must be thread-safe). On the warm
+  /// whole-campaign disk path it fires once per job after the load, so a
+  /// progress consumer always reaches jobs/jobs. Must not throw; results
+  /// are not exposed — the hook cannot influence the campaign (the
+  /// determinism contract above stays intact).
+  std::function<void()> on_job_finished;
 };
 
 /// Outcome of one campaign job. Which fields are meaningful depends on the

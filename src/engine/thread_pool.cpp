@@ -1,6 +1,9 @@
 #include "engine/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/phase.hpp"
 
 namespace pwcet {
 
@@ -14,7 +17,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   threads = resolve_thread_count(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      if (obs::Tracer::instance().enabled())
+        obs::Tracer::instance().name_current_thread("worker-" +
+                                                    std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -39,7 +47,13 @@ bool ThreadPool::run_one() {
     task = std::move(queue_.back());
     queue_.pop_back();
   }
-  task();
+  // A task executed here was *stolen* by a waiting thread (help-while-
+  // waiting), as opposed to drained by a worker's loop.
+  obs::MetricsRegistry::instance().add("engine.pool.steals");
+  {
+    obs::TraceSpan task_span(obs::engine_name::kPoolTask, "engine");
+    task();
+  }
   done_.notify_all();
   return true;
 }
@@ -54,7 +68,18 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    const bool metrics = obs::MetricsRegistry::instance().enabled();
+    const std::uint64_t start_ns = metrics ? obs::monotonic_ns() : 0;
+    {
+      obs::TraceSpan task_span(obs::engine_name::kPoolTask, "engine");
+      task();
+    }
+    if (metrics) {
+      obs::MetricsRegistry::instance()
+          .counter("engine.pool.busy_ns")
+          .add(obs::monotonic_ns() - start_ns);
+      obs::MetricsRegistry::instance().add("engine.pool.tasks");
+    }
     done_.notify_all();
   }
 }

@@ -1,0 +1,186 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "support/json.hpp"
+
+namespace pwcet::obs {
+
+void DurationHistogram::observe_ns(std::uint64_t ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  // CAS loops for min/max: uncontended in practice (phases are coarse),
+  // and exact under contention.
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !min_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  // bit_width(ns) is 0..64; clamp the (physically impossible) top value
+  // into the last bucket instead of indexing out of range.
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(ns), kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+DurationHistogram::Snapshot DurationHistogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ns = sum_.load(std::memory_order_relaxed);
+  snap.max_ns = max_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min_ns = snap.count == 0 ? 0 : min;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return snap;
+}
+
+void DurationHistogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked like the tracer's: instrumentation may fire during static
+  // destruction and must never touch a destructed registry.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+DurationHistogram& MetricsRegistry::histogram(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<DurationHistogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)  // std::map: sorted
+    out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::vector<MetricsRegistry::NamedHistogram> MetricsRegistry::histograms()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<NamedHistogram> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    out.push_back({name, histogram->snapshot()});
+  return out;
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+  char buffer[160];
+  std::string out = "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+    out += json_quote(name);
+    std::snprintf(buffer, sizeof buffer, ":%" PRIu64, value);
+    out += buffer;
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+    out += json_quote(name);
+    const double mean =
+        snap.count == 0
+            ? 0.0
+            : static_cast<double>(snap.sum_ns) /
+                  static_cast<double>(snap.count);
+    std::snprintf(buffer, sizeof buffer,
+                  ":{\"count\":%" PRIu64 ",\"sum_ns\":%" PRIu64
+                  ",\"min_ns\":%" PRIu64 ",\"max_ns\":%" PRIu64
+                  ",\"mean_ns\":%.1f,\"buckets\":[",
+                  snap.count, snap.sum_ns, snap.min_ns, snap.max_ns, mean);
+    out += buffer;
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < DurationHistogram::kBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      // Bucket i holds samples with bit_width(ns) == i: ns <= 2^i - 1.
+      const std::uint64_t le =
+          i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      std::snprintf(buffer, sizeof buffer,
+                    "{\"le_ns\":%" PRIu64 ",\"count\":%" PRIu64 "}", le,
+                    snap.buckets[i]);
+      out += buffer;
+    }
+    out += "]}";
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json_snapshot();
+  out.close();
+  return !out.fail();
+}
+
+void MetricsRegistry::clear() {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    (void)name;
+    counter->reset();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    (void)name;
+    histogram->reset();
+  }
+}
+
+void count_store(std::string_view tier, std::string_view layer,
+                 std::string_view event, std::uint64_t delta) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  if (!registry.enabled()) return;
+  std::string name = "store.";
+  name += tier;
+  name += '.';
+  name += layer;
+  name += '.';
+  name += event;
+  registry.counter(name).add(delta);
+}
+
+}  // namespace pwcet::obs

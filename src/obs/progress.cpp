@@ -1,0 +1,62 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace pwcet::obs {
+
+namespace {
+constexpr auto kRenderInterval = std::chrono::milliseconds(100);
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::size_t total, std::ostream& out,
+                             bool enabled)
+    : total_(total),
+      enabled_(enabled && total > 0),
+      out_(out),
+      started_(std::chrono::steady_clock::now()),
+      last_render_(started_ - kRenderInterval) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::job_finished() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (done_ < total_) ++done_;
+  if (!enabled_) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (done_ < total_ && now - last_render_ < kRenderInterval) return;
+  last_render_ = now;
+  render(done_);
+}
+
+void ProgressMeter::render(std::size_t done) {
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started_)
+                           .count();
+  const double eta =
+      done == 0 ? 0.0
+                : elapsed * static_cast<double>(total_ - done) /
+                      static_cast<double>(done);
+  char buffer[96];
+  const int written = std::snprintf(
+      buffer, sizeof buffer, "  %zu/%zu cells (%3.0f%%) ETA %.1fs", done,
+      total_, 100.0 * static_cast<double>(done) / static_cast<double>(total_),
+      eta);
+  std::string line(buffer, written > 0 ? static_cast<std::size_t>(written) : 0);
+  // Pad with spaces so a shrinking line fully overwrites the previous one.
+  while (line.size() < rendered_chars_) line += ' ';
+  rendered_chars_ = line.size();
+  out_ << '\r' << line << std::flush;
+}
+
+void ProgressMeter::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  enabled_ = false;
+  if (rendered_chars_ == 0) return;
+  out_ << '\r' << std::string(rendered_chars_, ' ') << '\r' << std::flush;
+  rendered_chars_ = 0;
+}
+
+}  // namespace pwcet::obs

@@ -1,0 +1,56 @@
+/// \file
+/// Live campaign progress on stderr: a completed/total cell counter with
+/// ETA, fed by the runner's per-job completion events (the same events
+/// the tracer and metrics see).
+///
+/// The meter is carriage-return animated and therefore only renders when
+/// explicitly enabled — the CLI enables it for `pwcet run --progress`
+/// when stderr is a TTY, so piped/redirected runs (and every test) stay
+/// byte-clean. finish() erases the line, leaving nothing behind; the
+/// run's summary line follows on clean ground.
+///
+/// Thread-safety: job_finished() is called from pool workers; the meter
+/// serializes rendering behind a mutex and rate-limits to one render per
+/// ~100 ms so a fast campaign is not dominated by terminal writes.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+
+namespace pwcet::obs {
+
+class ProgressMeter {
+ public:
+  /// A disabled meter ignores every event and writes nothing.
+  ProgressMeter(std::size_t total, std::ostream& out, bool enabled);
+
+  /// Destruction finishes implicitly, so an exception unwinding past the
+  /// meter still erases the animation line.
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// One cell done. Renders "  done/total cells (pct%) ETA x.xs" in
+  /// place, at most every ~100 ms (the final cell always renders).
+  void job_finished();
+
+  /// Erases the animation line (idempotent).
+  void finish();
+
+ private:
+  void render(std::size_t done);  // caller holds mutex_
+
+  std::mutex mutex_;
+  const std::size_t total_;
+  std::size_t done_ = 0;
+  std::size_t rendered_chars_ = 0;
+  bool enabled_;
+  std::ostream& out_;
+  std::chrono::steady_clock::time_point started_;
+  std::chrono::steady_clock::time_point last_render_;
+};
+
+}  // namespace pwcet::obs

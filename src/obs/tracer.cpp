@@ -1,0 +1,148 @@
+#include "obs/tracer.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "support/json.hpp"
+
+namespace pwcet::obs {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+  // First call pins the epoch; thread-safe since C++11 static init. Spans
+  // therefore carry small, process-relative timestamps that survive the
+  // %.3f microsecond formatting of the export without precision loss.
+  static const std::uint64_t epoch = steady_now_ns();
+  return steady_now_ns() - epoch;
+}
+
+/// Per-thread span buffer. Owned jointly by the registering thread (via a
+/// thread_local shared_ptr) and the tracer registry, so worker spans
+/// survive the worker's exit and are still there to export.
+struct Tracer::ThreadLog {
+  mutable std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+Tracer& Tracer::instance() {
+  // Leaked on purpose: spans can be recorded from detached/static-destruct
+  // contexts and a destructed registry would be a use-after-free trap.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadLog& Tracer::thread_log() {
+  thread_local std::shared_ptr<ThreadLog> log;
+  if (!log) {
+    log = std::make_shared<ThreadLog>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    log->tid = static_cast<std::uint32_t>(logs_.size());
+    logs_.push_back(log);
+  }
+  return *log;
+}
+
+void Tracer::record(TraceEvent event) {
+  ThreadLog& log = thread_log();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.events.push_back(std::move(event));
+}
+
+std::uint32_t Tracer::current_thread_id() { return thread_log().tid; }
+
+void Tracer::name_current_thread(const std::string& name) {
+  ThreadLog& log = thread_log();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.name = name;
+}
+
+std::string Tracer::trace_json() const {
+  // Snapshot the registry first, then walk each buffer under its own
+  // lock. Threads still recording concurrently are caught mid-flight;
+  // exporters are expected to run after the traced work finished.
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    logs = logs_;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out +=
+      "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"pwcet\"}}";
+  char buffer[160];
+  for (const auto& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mutex);
+    if (!log->name.empty()) {
+      std::snprintf(buffer, sizeof buffer,
+                    ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                    "\"tid\":%" PRIu32 ",\"args\":{\"name\":",
+                    log->tid);
+      out += buffer;
+      out += json_quote(log->name);
+      out += "}}";
+    }
+    for (const TraceEvent& event : log->events) {
+      // Complete events; ts/dur are microseconds (trace-event format),
+      // kept to nanosecond precision via the fractional part.
+      out += ",\n{\"name\":";
+      out += json_quote(event.name);
+      out += ",\"cat\":";
+      out += json_quote(event.categories);
+      std::snprintf(buffer, sizeof buffer,
+                    ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                    "\"tid\":%" PRIu32,
+                    static_cast<double>(event.start_ns) / 1e3,
+                    static_cast<double>(event.duration_ns) / 1e3, log->tid);
+      out += buffer;
+      if (!event.args.empty()) {
+        out += ",\"args\":{";
+        out += event.args;
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << trace_json();
+  out.close();
+  return !out.fail();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->events.clear();
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::size_t count = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    count += log->events.size();
+  }
+  return count;
+}
+
+}  // namespace pwcet::obs

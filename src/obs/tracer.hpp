@@ -1,0 +1,149 @@
+/// \file
+/// Low-overhead tracing for the analysis pipeline, campaign engine and
+/// store: RAII spans collected into per-thread buffers and exported in the
+/// Chrome trace-event JSON format (loadable in Perfetto / about:tracing).
+///
+/// Contracts (the whole point of this subsystem, enforced by
+/// tests/obs_test.cpp):
+///
+///  * *Off by default, free when off.* The process-wide tracer starts
+///    disabled; a disabled span is one relaxed atomic load in its
+///    constructor and one in its destructor — no clock reads, no
+///    allocation, no locks. Instrumentation can therefore stay compiled
+///    into release builds permanently.
+///
+///  * *Observation only.* Recording never feeds back into the analysis:
+///    spans carry wall-clock timestamps and labels, nothing downstream
+///    reads them, and every campaign report stays byte-identical with
+///    tracing on or off, at any thread count, store on/off, cold or warm.
+///
+///  * *Thread-safe and contention-free.* Each thread appends to its own
+///    buffer (one uncontended mutex acquisition per finished span); the
+///    exporter merges buffers under the same per-buffer locks. Buffers
+///    outlive their threads (the tracer keeps them alive), so spans from
+///    pool workers survive pool destruction and appear in the export.
+///
+/// Span timestamps are nanoseconds on std::chrono::steady_clock, rebased
+/// to a process-wide epoch; the export converts to the trace-event
+/// format's microseconds. Thread ids are small sequential integers in
+/// first-use order (the OS tid would leak across runs and mean nothing in
+/// a viewer); threads can carry a human name ("worker-3") emitted as
+/// trace metadata.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pwcet::obs {
+
+/// Nanoseconds since the process-wide monotonic epoch (first use).
+std::uint64_t monotonic_ns();
+
+/// One finished span. `name` and `categories` must be string literals (or
+/// otherwise outlive the tracer) — every instrumentation site uses
+/// literals, and not copying them keeps recording allocation-free unless
+/// args are attached.
+struct TraceEvent {
+  const char* name = "";
+  const char* categories = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Pre-rendered JSON object *body* ("\"k\":1,\"s\":\"v\"", no braces);
+  /// empty for most spans. Values must already be JSON-escaped.
+  std::string args;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer every instrumentation site records into.
+  static Tracer& instance();
+
+  /// Starts collecting. Spans opened while disabled are dropped (a span
+  /// straddling enable() records only if its *constructor* saw the tracer
+  /// enabled — the check is made once, on open).
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a finished span on the calling thread's buffer.
+  void record(TraceEvent event);
+
+  /// Sequential id of the calling thread (assigned on first use).
+  std::uint32_t current_thread_id();
+
+  /// Human name for the calling thread, emitted as thread_name metadata.
+  void name_current_thread(const std::string& name);
+
+  /// The collected trace as one Chrome trace-event JSON document:
+  /// `{"displayTimeUnit":"ms","traceEvents":[...]}` with one complete
+  /// ("ph":"X") event per span plus process/thread-name metadata events.
+  /// Threads are emitted in id order, each thread's spans in record order.
+  std::string trace_json() const;
+
+  /// Writes trace_json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Drops all collected spans (thread registrations and names survive).
+  void clear();
+
+  /// Spans currently buffered across all threads (test/diagnostic aid).
+  std::size_t event_count() const;
+
+ private:
+  struct ThreadLog;
+
+  Tracer() = default;
+  ThreadLog& thread_log();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
+};
+
+/// RAII span: opens on construction (if the tracer is enabled), records on
+/// destruction. Nesting is by construction order on the same thread; the
+/// viewer reconstructs the stack from the containment of time intervals.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* categories = "pwcet") {
+    if (Tracer::instance().enabled()) {
+      name_ = name;
+      categories_ = categories;
+      start_ns_ = monotonic_ns();
+      active_ = true;
+    }
+  }
+
+  ~TraceSpan() {
+    if (!active_) return;
+    Tracer::instance().record({name_, categories_, start_ns_,
+                               monotonic_ns() - start_ns_,
+                               std::move(args_)});
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches pre-rendered JSON members ("\"k\":1"); no-op when inactive,
+  /// so callers can skip building the string: `if (span.active())`.
+  void annotate(std::string args_json) {
+    if (active_) args_ = std::move(args_json);
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  const char* name_ = nullptr;
+  const char* categories_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::string args_;
+  bool active_ = false;
+};
+
+}  // namespace pwcet::obs

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <system_error>
 
+#include "obs/metrics.hpp"
+
 namespace pwcet {
 namespace {
 
@@ -73,6 +75,7 @@ std::optional<std::string> ArtifactStore::load_text(
   std::ifstream in(path_of(kind, key), std::ios::binary);
   if (!in) {
     disk_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::count_store("disk", kind, "misses");
     return std::nullopt;
   }
   std::string header;
@@ -85,9 +88,11 @@ std::optional<std::string> ArtifactStore::load_text(
   // in the payload all read as a miss.
   if (in.bad() || header != header_line(kind, key, payload)) {
     disk_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::count_store("disk", kind, "misses");
     return std::nullopt;
   }
   disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::count_store("disk", kind, "hits");
   return payload;
 }
 
@@ -125,6 +130,7 @@ bool ArtifactStore::store_text(std::string_view kind, const StoreKey& key,
     return false;
   }
   disk_writes_.fetch_add(1, std::memory_order_relaxed);
+  obs::count_store("disk", kind, "writes");
   return true;
 }
 

@@ -5,12 +5,19 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 
 namespace pwcet {
 
 struct MemoCache::Shard {
-  using Entry = std::pair<StoreKey, std::shared_ptr<const void>>;
+  struct Entry {
+    StoreKey key;
+    std::shared_ptr<const void> value;
+    // Layer tag for metrics attribution; call sites pass string literals,
+    // so storing the pointer is enough.
+    const char* layer;
+  };
 
   std::mutex mutex;
   std::size_t capacity = 0;
@@ -44,20 +51,24 @@ MemoCache::Shard& MemoCache::shard_of(const StoreKey& key) {
   return *shards_[static_cast<std::size_t>(key.hi) % shards_.size()];
 }
 
-std::shared_ptr<const void> MemoCache::get(const StoreKey& key) {
+std::shared_ptr<const void> MemoCache::get(const StoreKey& key,
+                                           const char* layer) {
   Shard& shard = shard_of(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    obs::count_store("memo", layer, "misses");
     return nullptr;
   }
   ++shard.hits;
+  obs::count_store("memo", layer, "hits");
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  return it->second->value;
 }
 
-void MemoCache::put(const StoreKey& key, std::shared_ptr<const void> value) {
+void MemoCache::put(const StoreKey& key, std::shared_ptr<const void> value,
+                    const char* layer) {
   Shard& shard = shard_of(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
@@ -68,10 +79,11 @@ void MemoCache::put(const StoreKey& key, std::shared_ptr<const void> value) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(key, std::move(value));
+  shard.lru.emplace_front(Shard::Entry{key, std::move(value), layer});
   shard.index.emplace(key, shard.lru.begin());
   while (shard.lru.size() > shard.capacity) {
-    shard.index.erase(shard.lru.back().first);
+    shard.index.erase(shard.lru.back().key);
+    obs::count_store("memo", shard.lru.back().layer, "evictions");
     shard.lru.pop_back();
     ++shard.evictions;
   }

@@ -72,21 +72,27 @@ class MemoCache {
   MemoCache(const MemoCache&) = delete;
   MemoCache& operator=(const MemoCache&) = delete;
 
-  /// Looks up a key; a hit refreshes its LRU position.
-  std::shared_ptr<const void> get(const StoreKey& key);
+  /// Looks up a key; a hit refreshes its LRU position. `layer` is an
+  /// observability-only attribution tag ("core", "set-penalty", ...) for
+  /// the per-layer metrics counters — it never affects lookup.
+  std::shared_ptr<const void> get(const StoreKey& key,
+                                  const char* layer = "other");
 
   /// Inserts (or refreshes) a value, evicting least-recently-used entries
-  /// of the same shard beyond its capacity share.
-  void put(const StoreKey& key, std::shared_ptr<const void> value);
+  /// of the same shard beyond its capacity share. Evictions are attributed
+  /// to the *evicted* entry's layer, which each entry remembers.
+  void put(const StoreKey& key, std::shared_ptr<const void> value,
+           const char* layer = "other");
 
   /// Memoized evaluation: returns the cached value for `key` or computes,
   /// inserts and returns it. The computation runs outside any lock.
   template <typename V, typename Fn>
-  std::shared_ptr<const V> get_or_compute(const StoreKey& key, Fn&& compute) {
-    if (std::shared_ptr<const void> hit = get(key))
+  std::shared_ptr<const V> get_or_compute(const StoreKey& key, Fn&& compute,
+                                          const char* layer = "other") {
+    if (std::shared_ptr<const void> hit = get(key, layer))
       return std::static_pointer_cast<const V>(std::move(hit));
     auto value = std::make_shared<const V>(compute());
-    put(key, value);
+    put(key, value, layer);
     return value;
   }
 

@@ -1,0 +1,280 @@
+#include "support/json_doc.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace pwcet {
+namespace {
+
+[[noreturn]] void fail(const std::string& source, int line,
+                       const std::string& message) {
+  std::string out = source;
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += message;
+  throw JsonParseError(out);
+}
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  Json parse_document() {
+    Json value = parse_value("document");
+    skip_ws();
+    if (pos_ != text_.size())
+      fail(source_, line_, "trailing content after the document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void syntax(const std::string& message) {
+    fail(source_, line_, message);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+
+  char peek() const { return text_[pos_]; }
+
+  char get() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        get();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char wanted, const char* what) {
+    skip_ws();
+    if (eof() || peek() != wanted) syntax(std::string("expected ") + what);
+    get();
+  }
+
+  Json parse_value(const char* what) {
+    skip_ws();
+    if (eof()) syntax(std::string("unexpected end of input, expected ") + what);
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    if (c == 't' || c == 'f' || c == 'n') return parse_keyword();
+    syntax(std::string("unexpected character '") + c + "', expected " + what);
+  }
+
+  Json parse_object() {
+    Json out;
+    out.type = Json::Type::kObject;
+    skip_ws();
+    out.line = line_;
+    expect('{', "'{'");
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      get();
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') syntax("expected a quoted object key");
+      Json key = parse_string();
+      expect(':', "':' after object key");
+      Json value = parse_value("a value");
+      for (const auto& [existing, unused] : out.object) {
+        (void)unused;
+        if (existing == key.string)
+          fail(source_, key.line, "duplicate key \"" + key.string + "\"");
+      }
+      out.object.emplace_back(std::move(key.string), std::move(value));
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        get();
+        continue;
+      }
+      expect('}', "',' or '}' in object");
+      return out;
+    }
+  }
+
+  Json parse_array() {
+    Json out;
+    out.type = Json::Type::kArray;
+    skip_ws();
+    out.line = line_;
+    expect('[', "'['");
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      get();
+      return out;
+    }
+    while (true) {
+      out.array.push_back(parse_value("an array element"));
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        get();
+        continue;
+      }
+      expect(']', "',' or ']' in array");
+      return out;
+    }
+  }
+
+  Json parse_string() {
+    Json out;
+    out.type = Json::Type::kString;
+    skip_ws();
+    out.line = line_;
+    expect('"', "'\"'");
+    while (true) {
+      if (eof()) syntax("unterminated string");
+      const char c = get();
+      if (c == '"') return out;
+      if (c == '\n') syntax("raw newline in string");
+      if (c != '\\') {
+        out.string += c;
+        continue;
+      }
+      if (eof()) syntax("unterminated escape");
+      const char esc = get();
+      switch (esc) {
+        case '"': out.string += '"'; break;
+        case '\\': out.string += '\\'; break;
+        case '/': out.string += '/'; break;
+        case 'b': out.string += '\b'; break;
+        case 'f': out.string += '\f'; break;
+        case 'n': out.string += '\n'; break;
+        case 'r': out.string += '\r'; break;
+        case 't': out.string += '\t'; break;
+        case 'u': out.string += parse_unicode_escape(); break;
+        default: syntax(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // Surrogate pair: the low half must follow immediately.
+      if (eof() || get() != '\\' || eof() || get() != 'u')
+        syntax("high surrogate not followed by \\u low surrogate");
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) syntax("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      syntax("unpaired low surrogate");
+    }
+    std::string utf8;
+    if (code < 0x80) {
+      utf8 += static_cast<char>(code);
+    } else if (code < 0x800) {
+      utf8 += static_cast<char>(0xC0 | (code >> 6));
+      utf8 += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      utf8 += static_cast<char>(0xE0 | (code >> 12));
+      utf8 += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      utf8 += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      utf8 += static_cast<char>(0xF0 | (code >> 18));
+      utf8 += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      utf8 += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      utf8 += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return utf8;
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) syntax("unterminated \\u escape");
+      const char c = get();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        syntax("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  Json parse_number() {
+    Json out;
+    out.type = Json::Type::kNumber;
+    out.line = line_;
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') get();
+    while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                      peek() == '-'))
+      get();
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      syntax("malformed number \"" + token + "\"");
+    if (token.find_first_of(".eE") == std::string::npos && token[0] != '-') {
+      errno = 0;
+      const unsigned long long exact = std::strtoull(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size()) {
+        if (errno == 0) {
+          out.integral = true;
+          out.integer = exact;
+        } else {
+          out.integer_overflow = true;
+        }
+      }
+    }
+    return out;
+  }
+
+  Json parse_keyword() {
+    Json out;
+    out.line = line_;
+    auto matches = [&](const char* word) {
+      const std::size_t n = std::char_traits<char>::length(word);
+      return text_.compare(pos_, n, word) == 0;
+    };
+    if (matches("true")) {
+      out.type = Json::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+    } else if (matches("false")) {
+      out.type = Json::Type::kBool;
+      out.boolean = false;
+      pos_ += 5;
+    } else if (matches("null")) {
+      out.type = Json::Type::kNull;
+      pos_ += 4;
+    } else {
+      syntax("unexpected token");
+    }
+    return out;
+  }
+
+  const std::string& text_;
+  const std::string& source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Json parse_json(const std::string& text, const std::string& source) {
+  return JsonParser(text, source).parse_document();
+}
+
+}  // namespace pwcet

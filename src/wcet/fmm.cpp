@@ -138,10 +138,13 @@ FmmBundle compute_fmm_bundle(const Program& program,
                               set_ipet);
     const StoreKey key =
         KeyHasher("fmm-rows-v1").mix_key(*row_key_prefix).mix_u64(s).finish();
-    return *store->memo().get_or_compute<SetRows>(key, [&] {
-      return compute_set_rows(program, config, refs, srb_hits, s, engine,
-                              set_ipet);
-    });
+    return *store->memo().get_or_compute<SetRows>(
+        key,
+        [&] {
+          return compute_set_rows(program, config, refs, srb_hits, s, engine,
+                                  set_ipet);
+        },
+        "fmm-rows");
   };
 
   std::vector<SetRows> rows;

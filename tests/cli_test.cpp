@@ -17,6 +17,7 @@
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
 #include "engine/spec_io.hpp"
+#include "support/json_doc.hpp"
 
 #ifndef PWCET_SPECS_DIR
 #define PWCET_SPECS_DIR "specs"
@@ -323,6 +324,101 @@ TEST_F(CliTest, CacheStatsAndClearManageTheArtifactDirectory) {
   ASSERT_EQ(run_cli({"cache", "clear", "--cache-dir", cache}).code, 0);
   EXPECT_TRUE(fs::exists(foreign));
   EXPECT_FALSE(fs::exists(orphan));
+}
+
+// ---- observability flags ---------------------------------------------------
+
+TEST_F(CliTest, TraceAndMetricsExportsParseAndLeaveTheReportUntouched) {
+  const std::string spec_path = tiny_spec_path();
+  RunnerOptions reference_options;
+  reference_options.threads = 1;
+  const std::string csv =
+      report_csv(run_campaign(tiny_spec_programmatic(), reference_options));
+
+  const std::string trace = (fs::path(dir_) / "trace.json").string();
+  const std::string metrics = (fs::path(dir_) / "metrics.json").string();
+  const CliResult result = run_cli({"run", spec_path, "--threads", "2",
+                                    "--trace-out", trace, "--metrics-out",
+                                    metrics});
+  EXPECT_EQ(result.code, 0) << result.err;
+  // The observation-only contract, end to end through the CLI.
+  EXPECT_EQ(result.out, csv);
+
+  const Json trace_doc = parse_json(read_file(trace), trace);
+  EXPECT_EQ(trace_doc.find("displayTimeUnit")->string, "ms");
+  const Json* events = trace_doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->array.empty());
+  const std::string trace_text = read_file(trace);
+  for (const char* span : {"campaign.run", "engine.job", "pipeline.core",
+                           "phase.penalty", "phase.convolve"})
+    EXPECT_NE(trace_text.find(span), std::string::npos) << span;
+
+  const Json metrics_doc = parse_json(read_file(metrics), metrics);
+  ASSERT_NE(metrics_doc.find("counters"), nullptr);
+  ASSERT_NE(metrics_doc.find("histograms"), nullptr);
+  EXPECT_NE(metrics_doc.find("counters")->find("engine.jobs"), nullptr);
+  EXPECT_NE(metrics_doc.find("histograms")->find("pipeline.analyze"),
+            nullptr);
+}
+
+TEST_F(CliTest, ProfilePrintsSpanAndCounterTablesOnStderr) {
+  const CliResult result = run_cli({"run", tiny_spec_path(), "--threads",
+                                    "1", "--profile"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.err.find("profile: wall time per span"),
+            std::string::npos);
+  EXPECT_NE(result.err.find("pipeline.core"), std::string::npos);
+  EXPECT_NE(result.err.find("profile: counters"), std::string::npos);
+  EXPECT_NE(result.err.find("engine.jobs"), std::string::npos);
+}
+
+TEST_F(CliTest, ProgressStaysSilentWhenStderrIsNotATerminal) {
+  // run_cli's stderr is a stringstream, not a TTY: the meter must not
+  // animate (a redirected run would otherwise be littered with \r).
+  const CliResult result =
+      run_cli({"run", tiny_spec_path(), "--progress"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.err.find('\r'), std::string::npos);
+}
+
+TEST_F(CliTest, CacheStatsRendersPerLayerStoreCounters) {
+  const std::string spec_path = tiny_spec_path();
+  const std::string metrics = (fs::path(dir_) / "metrics.json").string();
+  ASSERT_EQ(run_cli({"run", spec_path, "--threads", "1", "--metrics-out",
+                     metrics})
+                .code,
+            0);
+
+  // Snapshot alone (no cache directory needed for the memo tier).
+  const char* saved = std::getenv("PWCET_CACHE_DIR");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::unsetenv("PWCET_CACHE_DIR");
+  CliResult result = run_cli({"cache", "stats", "--metrics", metrics});
+  if (saved != nullptr) ::setenv("PWCET_CACHE_DIR", saved_value.c_str(), 1);
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("store counters"), std::string::npos);
+  EXPECT_NE(result.out.find("memo"), std::string::npos);
+  EXPECT_NE(result.out.find("set-penalty"), std::string::npos);
+  EXPECT_NE(result.out.find("core"), std::string::npos);
+
+  // Alongside a cache directory both tables render.
+  const std::string cache = (fs::path(dir_) / "cache").string();
+  ASSERT_EQ(run_cli({"run", spec_path, "--cache-dir", cache}).code, 0);
+  result = run_cli({"cache", "stats", "--cache-dir", cache, "--metrics",
+                    metrics});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("campaign-report"), std::string::npos);
+  EXPECT_NE(result.out.find("store counters"), std::string::npos);
+
+  // A missing or malformed snapshot is a diagnosed failure, not a crash.
+  result = run_cli({"cache", "stats", "--metrics",
+                    (fs::path(dir_) / "absent.json").string()});
+  EXPECT_EQ(result.code, 1);
+  result = run_cli(
+      {"cache", "stats", "--metrics", write_file("bad.json", "{oops")});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("bad.json"), std::string::npos);
 }
 
 TEST_F(CliTest, CacheWithoutDirectoryIsAnError) {
