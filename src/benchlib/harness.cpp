@@ -1,0 +1,101 @@
+#include "benchlib/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace pwcet::benchlib {
+
+void Recorder::record_ns(const std::string& metric, std::uint64_t ns) {
+  for (auto& [name, value] : extra_) {
+    if (name == metric) {
+      value = ns;
+      return;
+    }
+  }
+  extra_.emplace_back(metric, ns);
+}
+
+/// Internal access to Recorder state without widening its public surface.
+struct HarnessAccess {
+  static std::vector<std::pair<std::string, std::uint64_t>> take(
+      Recorder& recorder) {
+    return std::move(recorder.extra_);
+  }
+};
+
+namespace {
+
+/// Applies the inject_slowdown factors to one metric value. Exact-name
+/// match only; the factor scales the measured nanoseconds.
+std::uint64_t maybe_inject(const BenchOptions& options,
+                           const std::string& metric, std::uint64_t ns) {
+  for (const auto& [name, factor] : options.inject_slowdown)
+    if (name == metric)
+      return static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(ns) * factor));
+  return ns;
+}
+
+}  // namespace
+
+ScenarioSamples run_scenario(const std::string& name,
+                             const BenchOptions& options,
+                             const std::function<void(Recorder&)>& body) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  // The harness owns the registry for the duration of the run: snapshots
+  // must attribute to exactly one repetition, so any previously collected
+  // data is cleared and the registry is left disabled + empty on return.
+  registry.disable();
+  registry.clear();
+
+  ScenarioSamples out;
+  out.name = name;
+  out.samples.reserve(options.repetitions);
+
+  const std::size_t total = options.warmup + options.repetitions;
+  for (std::size_t rep = 0; rep < total; ++rep) {
+    const bool measured = rep >= options.warmup;
+    if (options.capture_metrics) {
+      registry.clear();
+      registry.enable();
+    }
+    Recorder recorder;
+    const std::uint64_t start_ns = obs::monotonic_ns();
+    try {
+      body(recorder);
+    } catch (...) {
+      registry.disable();
+      registry.clear();
+      throw;
+    }
+    const std::uint64_t wall_ns = obs::monotonic_ns() - start_ns;
+    if (options.capture_metrics) registry.disable();
+    if (!measured) continue;
+
+    RepetitionSample sample;
+    sample.wall_ns = maybe_inject(options, "wall_ns", wall_ns);
+    if (options.capture_metrics) {
+      for (const obs::MetricsRegistry::NamedHistogram& h :
+           registry.histograms()) {
+        if (h.snapshot.count == 0) continue;
+        sample.metrics.emplace_back(
+            h.name, maybe_inject(options, h.name, h.snapshot.sum_ns));
+      }
+      for (const auto& [counter, value] : registry.counters())
+        if (value != 0) sample.counters.emplace_back(counter, value);
+    }
+    for (auto& [metric, ns] : HarnessAccess::take(recorder))
+      sample.metrics.emplace_back(metric, maybe_inject(options, metric, ns));
+    std::sort(sample.metrics.begin(), sample.metrics.end());
+    out.samples.push_back(std::move(sample));
+  }
+
+  registry.disable();
+  registry.clear();
+  return out;
+}
+
+}  // namespace pwcet::benchlib

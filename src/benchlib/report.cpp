@@ -1,0 +1,244 @@
+#include "benchlib/report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/json.hpp"
+#include "support/json_doc.hpp"
+#include "support/stats.hpp"
+
+namespace pwcet::benchlib {
+
+MetricStats compute_metric_stats(const std::vector<double>& samples) {
+  MetricStats stats;
+  if (samples.empty()) return stats;
+  stats.count = samples.size();
+  stats.median = pwcet::median(samples);
+  stats.min = *std::min_element(samples.begin(), samples.end());
+  stats.p90 = empirical_quantile(samples, 0.9);
+  stats.mad = median_abs_deviation(samples);
+  return stats;
+}
+
+ScenarioReport summarize_scenario(ScenarioSamples samples) {
+  ScenarioReport report;
+  report.name = std::move(samples.name);
+  report.samples = std::move(samples.samples);
+
+  // Collect per-metric sample vectors: wall_ns from every repetition,
+  // each named metric from the repetitions that carry it.
+  std::map<std::string, std::vector<double>> columns;
+  for (const RepetitionSample& sample : report.samples) {
+    columns["wall_ns"].push_back(static_cast<double>(sample.wall_ns));
+    for (const auto& [metric, ns] : sample.metrics)
+      columns[metric].push_back(static_cast<double>(ns));
+  }
+  for (const auto& [metric, values] : columns)
+    report.stats[metric] = compute_metric_stats(values);
+  return report;
+}
+
+namespace {
+
+void append_u64_object(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::uint64_t>>& entries) {
+  char buffer[48];
+  out += '{';
+  bool first = true;
+  for (const auto& [name, value] : entries) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name);
+    std::snprintf(buffer, sizeof buffer, ":%" PRIu64, value);
+    out += buffer;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string bench_report_json(const BenchReport& report) {
+  char buffer[192];
+  std::string out = "{\n";
+  out += "\"schema\":";
+  out += json_quote(report.schema);
+  out += ",\n\"environment\":{";
+  bool first = true;
+  for (const auto& [key, value] : report.environment) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += json_quote(key);
+    out += ':';
+    out += json_quote(value);
+  }
+  out += "\n},\n\"scenarios\":[";
+  first = true;
+  for (const ScenarioReport& scenario : report.scenarios) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":";
+    out += json_quote(scenario.name);
+    out += ",\n\"samples\":[";
+    bool first_sample = true;
+    for (const RepetitionSample& sample : scenario.samples) {
+      if (!first_sample) out += ',';
+      first_sample = false;
+      std::snprintf(buffer, sizeof buffer, "\n{\"wall_ns\":%" PRIu64
+                    ",\"metrics\":", sample.wall_ns);
+      out += buffer;
+      append_u64_object(out, sample.metrics);
+      out += ",\"counters\":";
+      append_u64_object(out, sample.counters);
+      out += '}';
+    }
+    out += "],\n\"stats\":{";
+    bool first_stat = true;
+    for (const auto& [metric, stats] : scenario.stats) {
+      if (!first_stat) out += ',';
+      first_stat = false;
+      out += '\n';
+      out += json_quote(metric);
+      std::snprintf(buffer, sizeof buffer,
+                    ":{\"count\":%zu,\"median\":%.3f,\"min\":%.3f,"
+                    "\"p90\":%.3f,\"mad\":%.3f}",
+                    stats.count, stats.median, stats.min, stats.p90,
+                    stats.mad);
+      out += buffer;
+    }
+    out += "\n}}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool write_bench_report(const BenchReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bench_report_json(report);
+  out.close();
+  return !out.fail();
+}
+
+namespace {
+
+[[noreturn]] void shape_error(const std::string& path,
+                              const std::string& problem) {
+  throw BenchError(path + ": not a BenchReport: " + problem);
+}
+
+const Json& require(const Json* value, const std::string& path,
+                    const std::string& what, Json::Type type) {
+  if (value == nullptr) shape_error(path, "missing " + what);
+  if (value->type != type)
+    shape_error(path, what + " is " + value->type_name());
+  return *value;
+}
+
+std::uint64_t require_u64(const Json& value, const std::string& path,
+                          const std::string& what) {
+  if (value.type != Json::Type::kNumber || !value.integral)
+    shape_error(path, what + " is not a non-negative integer");
+  return value.integer;
+}
+
+double require_number(const Json* value, const std::string& path,
+                      const std::string& what) {
+  if (value == nullptr) shape_error(path, "missing " + what);
+  if (value->type != Json::Type::kNumber)
+    shape_error(path, what + " is " + value->type_name());
+  return value->number;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> load_u64_object(
+    const Json& object, const std::string& path, const std::string& what) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(object.object.size());
+  for (const auto& [name, value] : object.object)
+    out.emplace_back(name, require_u64(value, path, what + "." + name));
+  return out;
+}
+
+}  // namespace
+
+BenchReport load_bench_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw BenchError("cannot read bench report " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  BenchReport report;
+  try {
+    const Json doc = parse_json(text.str(), path);
+    if (doc.type != Json::Type::kObject)
+      shape_error(path, "document is " + std::string(doc.type_name()));
+    report.schema =
+        require(doc.find("schema"), path, "\"schema\"", Json::Type::kString)
+            .string;
+    const Json& environment = require(doc.find("environment"), path,
+                                      "\"environment\"", Json::Type::kObject);
+    for (const auto& [key, value] : environment.object) {
+      if (value.type != Json::Type::kString)
+        shape_error(path, "environment." + key + " is not a string");
+      report.environment.emplace_back(key, value.string);
+    }
+    const Json& scenarios = require(doc.find("scenarios"), path,
+                                    "\"scenarios\"", Json::Type::kArray);
+    for (const Json& entry : scenarios.array) {
+      if (entry.type != Json::Type::kObject)
+        shape_error(path, "scenario entry is not an object");
+      ScenarioReport scenario;
+      scenario.name =
+          require(entry.find("name"), path, "scenario \"name\"",
+                  Json::Type::kString)
+              .string;
+      const std::string where = "scenario " + scenario.name;
+      const Json& samples = require(entry.find("samples"), path,
+                                    where + " \"samples\"", Json::Type::kArray);
+      for (const Json& sample_json : samples.array) {
+        if (sample_json.type != Json::Type::kObject)
+          shape_error(path, where + " sample is not an object");
+        RepetitionSample sample;
+        sample.wall_ns = require_u64(
+            require(sample_json.find("wall_ns"), path, where + " wall_ns",
+                    Json::Type::kNumber),
+            path, where + " wall_ns");
+        sample.metrics = load_u64_object(
+            require(sample_json.find("metrics"), path, where + " metrics",
+                    Json::Type::kObject),
+            path, where + " metrics");
+        sample.counters = load_u64_object(
+            require(sample_json.find("counters"), path, where + " counters",
+                    Json::Type::kObject),
+            path, where + " counters");
+        scenario.samples.push_back(std::move(sample));
+      }
+      const Json& stats = require(entry.find("stats"), path,
+                                  where + " \"stats\"", Json::Type::kObject);
+      for (const auto& [metric, block] : stats.object) {
+        if (block.type != Json::Type::kObject)
+          shape_error(path, where + " stats." + metric + " is not an object");
+        MetricStats ms;
+        ms.count = static_cast<std::size_t>(require_u64(
+            require(block.find("count"), path, where + " stats count",
+                    Json::Type::kNumber),
+            path, where + " stats count"));
+        ms.median = require_number(block.find("median"), path,
+                                   where + " stats median");
+        ms.min = require_number(block.find("min"), path, where + " stats min");
+        ms.p90 = require_number(block.find("p90"), path, where + " stats p90");
+        ms.mad = require_number(block.find("mad"), path, where + " stats mad");
+        scenario.stats.emplace(metric, ms);
+      }
+      report.scenarios.push_back(std::move(scenario));
+    }
+  } catch (const JsonParseError& e) {
+    throw BenchError(e.what());
+  }
+  return report;
+}
+
+}  // namespace pwcet::benchlib

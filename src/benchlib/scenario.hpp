@@ -1,0 +1,56 @@
+/// \file
+/// Named benchmark scenarios for `pwcet bench run`.
+///
+/// Two families:
+///   - `campaign.*` macro scenarios run the paper's geometry-sweep
+///     campaign end to end (cold store / warm store); their samples carry
+///     the full per-phase breakdown from the obs span taxonomy
+///     (obs/phase.hpp) plus store counters, because the harness arms the
+///     MetricsRegistry around every repetition.
+///   - `pipeline.*` / `micro.*` scenarios time one pipeline stage in a
+///     fixed-iteration loop (reference extraction, classification,
+///     maximization, FMM, the full per-mechanism analysis) so a diff can
+///     localize a regression below campaign granularity.
+///
+/// Every scenario self-checks determinism where it applies (campaign
+/// reports must not drift between repetitions — the body throws on
+/// drift, failing the bench run loudly). Scenario state lives in the
+/// returned closures: call `builtin_scenarios()` once per measurement
+/// run so warm-store state never leaks between runs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchlib/harness.hpp"
+#include "engine/campaign.hpp"
+
+namespace pwcet::benchlib {
+
+/// Execution knobs shared by all scenarios of one `bench run`.
+struct ScenarioOptions {
+  /// Worker threads for campaign scenarios (1 = deterministic serial
+  /// timing, the comparable default).
+  std::size_t threads = 1;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// Untimed one-shot preparation (build programs, warm the store).
+  /// Runs before the first repetition; may be empty.
+  std::function<void(const ScenarioOptions&)> setup;
+  /// The timed body, run warmup + repetitions times.
+  std::function<void(Recorder&, const ScenarioOptions&)> body;
+};
+
+/// A fresh set of the built-in scenarios (state captured per call).
+std::vector<Scenario> builtin_scenarios();
+
+/// The geometry-sweep campaign the macro scenarios and the perf bench
+/// measure: 4 tasks x 5 geometries x 1 pfail x 3 mechanisms = 60 jobs,
+/// identical to the grid tracked in BENCH_perf_analysis_time.json.
+CampaignSpec geometry_sweep_spec();
+
+}  // namespace pwcet::benchlib

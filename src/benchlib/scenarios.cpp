@@ -1,0 +1,199 @@
+#include "benchlib/scenario.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/pwcet_analyzer.hpp"
+#include "engine/report.hpp"
+#include "engine/runner.hpp"
+#include "store/analysis_store.hpp"
+#include "wcet/cost_model.hpp"
+#include "wcet/ipet.hpp"
+#include "wcet/tree_engine.hpp"
+#include "workloads/malardalen.hpp"
+
+namespace pwcet::benchlib {
+
+CampaignSpec geometry_sweep_spec() {
+  CampaignSpec spec;
+  spec.tasks = {"adpcm", "matmult", "crc", "fft"};
+  for (const auto& [sets, ways, line] :
+       {std::tuple{32u, 2u, 16u}, std::tuple{16u, 4u, 16u},
+        std::tuple{8u, 8u, 16u}, std::tuple{32u, 4u, 8u},
+        std::tuple{8u, 4u, 32u}}) {
+    CacheConfig config;
+    config.sets = sets;
+    config.ways = ways;
+    config.line_bytes = line;
+    spec.geometries.push_back(config);
+  }
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  return spec;
+}
+
+namespace {
+
+/// Checks campaign-report identity across repetitions: the first
+/// rendering is the baseline, later ones must match byte for byte (the
+/// engine's determinism contract — a drift here means measurement and
+/// correctness can no longer be trusted together).
+struct IdentityCheck {
+  std::string baseline;
+  void check(const std::string& csv, const char* scenario) {
+    if (baseline.empty()) {
+      baseline = csv;
+    } else if (baseline != csv) {
+      throw std::runtime_error(std::string(scenario) +
+                               ": campaign report drifted between "
+                               "repetitions (determinism violation)");
+    }
+  }
+};
+
+/// Shared fixture for the micro scenarios: the adpcm task against the
+/// paper-default geometry, with the derived stages precomputed so each
+/// scenario times exactly one stage.
+struct AdpcmFixture {
+  Program program = workloads::build("adpcm");
+  CacheConfig config = CacheConfig::paper_default();
+  ReferenceMap refs = extract_references(program.cfg(), config);
+  ClassificationMap classification =
+      classify_fault_free(program.cfg(), refs, config);
+  CostModel model =
+      build_time_cost_model(program.cfg(), refs, classification, config);
+};
+
+/// Keeps the compiler from discarding a computed value (the benchlib
+/// equivalent of benchmark::DoNotOptimize, without the dependency).
+template <typename T>
+void keep(T&& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+}  // namespace
+
+std::vector<Scenario> builtin_scenarios() {
+  std::vector<Scenario> scenarios;
+
+  // ---- macro: the geometry-sweep campaign --------------------------------
+  {
+    auto identity = std::make_shared<IdentityCheck>();
+    scenarios.push_back(
+        {"campaign.geometry_sweep.cold",
+         "geometry-sweep campaign (60 jobs), fresh in-memory store per "
+         "repetition",
+         {},
+         [identity](Recorder&, const ScenarioOptions& options) {
+           AnalysisStore store;
+           RunnerOptions runner;
+           runner.threads = options.threads;
+           runner.shared_store = &store;
+           const CampaignResult result =
+               run_campaign(geometry_sweep_spec(), runner);
+           identity->check(report_csv(result),
+                           "campaign.geometry_sweep.cold");
+         }});
+  }
+  {
+    auto store = std::make_shared<AnalysisStore>();
+    auto identity = std::make_shared<IdentityCheck>();
+    scenarios.push_back(
+        {"campaign.geometry_sweep.warm",
+         "same campaign answered from an already-hot shared store (memo "
+         "hit path)",
+         [store, identity](const ScenarioOptions& options) {
+           RunnerOptions runner;
+           runner.threads = options.threads;
+           runner.shared_store = store.get();
+           identity->check(
+               report_csv(run_campaign(geometry_sweep_spec(), runner)),
+               "campaign.geometry_sweep.warm");
+         },
+         [store, identity](Recorder&, const ScenarioOptions& options) {
+           RunnerOptions runner;
+           runner.threads = options.threads;
+           runner.shared_store = store.get();
+           const CampaignResult result =
+               run_campaign(geometry_sweep_spec(), runner);
+           identity->check(report_csv(result),
+                           "campaign.geometry_sweep.warm");
+         }});
+  }
+
+  // ---- pipeline: full analysis below campaign granularity ----------------
+  {
+    auto fixture = std::make_shared<AdpcmFixture>();
+    scenarios.push_back(
+        {"pipeline.full",
+         "fresh analyzer + all three mechanisms on adpcm (3 iterations); "
+         "samples carry the phase.* breakdown",
+         {},
+         [fixture](Recorder&, const ScenarioOptions&) {
+           const FaultModel faults(1e-4);
+           for (int i = 0; i < 3; ++i) {
+             const PwcetAnalyzer analyzer(fixture->program, fixture->config);
+             keep(analyzer.analyze(faults, Mechanism::kNone));
+             keep(analyzer.analyze(faults, Mechanism::kReliableWay));
+             keep(analyzer.analyze(faults, Mechanism::kSharedReliableBuffer));
+           }
+         }});
+  }
+
+  // ---- micro: one stage each, fixed iteration counts ---------------------
+  {
+    auto fixture = std::make_shared<AdpcmFixture>();
+    scenarios.push_back({"micro.extract",
+                         "reference extraction on adpcm (100 iterations)",
+                         {},
+                         [fixture](Recorder&, const ScenarioOptions&) {
+                           for (int i = 0; i < 100; ++i)
+                             keep(extract_references(fixture->program.cfg(),
+                                                     fixture->config));
+                         }});
+    scenarios.push_back(
+        {"micro.classify",
+         "fault-free CHMC classification on adpcm (100 iterations)",
+         {},
+         [fixture](Recorder&, const ScenarioOptions&) {
+           for (int i = 0; i < 100; ++i)
+             keep(classify_fault_free(fixture->program.cfg(), fixture->refs,
+                                      fixture->config));
+         }});
+    scenarios.push_back({"micro.maximize.tree",
+                         "loop-tree WCET maximization on adpcm (100 "
+                         "iterations)",
+                         {},
+                         [fixture](Recorder&, const ScenarioOptions&) {
+                           for (int i = 0; i < 100; ++i)
+                             keep(tree_maximize(fixture->program,
+                                                fixture->model));
+                         }});
+    scenarios.push_back({"micro.maximize.ilp",
+                         "IPET construction + simplex solve on adpcm (10 "
+                         "iterations)",
+                         {},
+                         [fixture](Recorder&, const ScenarioOptions&) {
+                           for (int i = 0; i < 10; ++i) {
+                             IpetCalculator ipet(fixture->program);
+                             keep(ipet.maximize(fixture->model));
+                           }
+                         }});
+    scenarios.push_back(
+        {"micro.fmm.tree",
+         "per-set FMM bundle, tree engine, on adpcm (10 iterations)",
+         {},
+         [fixture](Recorder&, const ScenarioOptions&) {
+           for (int i = 0; i < 10; ++i)
+             keep(compute_fmm_bundle(fixture->program, fixture->config,
+                                     fixture->refs, WcetEngine::kTree,
+                                     nullptr));
+         }});
+  }
+
+  return scenarios;
+}
+
+}  // namespace pwcet::benchlib

@@ -31,6 +31,36 @@ void DurationHistogram::observe_ns(std::uint64_t ns) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+double DurationHistogram::Snapshot::quantile_ns(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double reach = static_cast<double>(cumulative + buckets[i]);
+    if (reach < target) {
+      cumulative += buckets[i];
+      continue;
+    }
+    // Bucket i holds samples with bit_width(ns) == i: [2^(i-1), 2^i - 1]
+    // (bucket 0 is the single value 0). Interpolate by rank within it.
+    const double lo =
+        i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+    const double hi =
+        i >= 64 ? static_cast<double>(~std::uint64_t{0})
+                : static_cast<double>((std::uint64_t{1} << i) - 1);
+    const double within = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(buckets[i]);
+    double value = lo + within * (hi - lo);
+    value = std::max(value, static_cast<double>(min_ns));
+    value = std::min(value, static_cast<double>(max_ns));
+    return value;
+  }
+  return static_cast<double>(max_ns);
+}
+
 DurationHistogram::Snapshot DurationHistogram::snapshot() const {
   Snapshot snap;
   snap.count = count_.load(std::memory_order_relaxed);
@@ -103,7 +133,7 @@ std::vector<MetricsRegistry::NamedHistogram> MetricsRegistry::histograms()
 }
 
 std::string MetricsRegistry::json_snapshot() const {
-  char buffer[160];
+  char buffer[320];
   std::string out = "{\n\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters()) {
@@ -129,8 +159,11 @@ std::string MetricsRegistry::json_snapshot() const {
     std::snprintf(buffer, sizeof buffer,
                   ":{\"count\":%" PRIu64 ",\"sum_ns\":%" PRIu64
                   ",\"min_ns\":%" PRIu64 ",\"max_ns\":%" PRIu64
-                  ",\"mean_ns\":%.1f,\"buckets\":[",
-                  snap.count, snap.sum_ns, snap.min_ns, snap.max_ns, mean);
+                  ",\"mean_ns\":%.1f,\"p50_ns\":%.1f,\"p90_ns\":%.1f,"
+                  "\"p99_ns\":%.1f,\"buckets\":[",
+                  snap.count, snap.sum_ns, snap.min_ns, snap.max_ns, mean,
+                  snap.quantile_ns(0.5), snap.quantile_ns(0.9),
+                  snap.quantile_ns(0.99));
     out += buffer;
     bool first_bucket = true;
     for (std::size_t i = 0; i < DurationHistogram::kBuckets; ++i) {

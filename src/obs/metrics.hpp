@@ -64,6 +64,15 @@ class DurationHistogram {
     std::uint64_t min_ns = 0;  ///< 0 when count == 0
     std::uint64_t max_ns = 0;
     std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+    /// the power-of-two bucket holding the target rank, clamped to the
+    /// exact [min_ns, max_ns] envelope (so a single-valued histogram
+    /// returns that value exactly, and q=0 / q=1 return min / max).
+    /// 0 when the histogram is empty. This is what the JSON snapshot's
+    /// derived p50_ns/p90_ns/p99_ns fields, the --profile table and
+    /// bench reports surface instead of raw bucket arrays.
+    double quantile_ns(double q) const;
   };
   Snapshot snapshot() const;
 

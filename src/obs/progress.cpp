@@ -23,6 +23,7 @@ ProgressMeter::~ProgressMeter() { finish(); }
 void ProgressMeter::job_finished() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (done_ < total_) ++done_;
+  if (done_ == 1) first_done_ = std::chrono::steady_clock::now();
   if (!enabled_) return;
   const auto now = std::chrono::steady_clock::now();
   if (done_ < total_ && now - last_render_ < kRenderInterval) return;
@@ -31,18 +32,29 @@ void ProgressMeter::job_finished() {
 }
 
 void ProgressMeter::render(std::size_t done) {
-  const auto elapsed = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - started_)
-                           .count();
-  const double eta =
-      done == 0 ? 0.0
-                : elapsed * static_cast<double>(total_ - done) /
-                      static_cast<double>(done);
+  // ETA from the completion rate *after* the first finished job: elapsed
+  // startup time (spec load, pool spin-up) would otherwise inflate every
+  // early estimate, and a warm sub-millisecond run could render garbage
+  // from a near-zero elapsed divided into a large remainder. Until a
+  // second job lands there is no rate to extrapolate — show "--".
+  char eta_text[32] = "--";
+  if (done >= total_) {
+    std::snprintf(eta_text, sizeof eta_text, "%.1fs", 0.0);
+  } else if (done > 1) {
+    const double since_first = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   first_done_)
+                                   .count();
+    double eta = since_first * static_cast<double>(total_ - done) /
+                 static_cast<double>(done - 1);
+    if (eta < 0.0) eta = 0.0;
+    std::snprintf(eta_text, sizeof eta_text, "%.1fs", eta);
+  }
   char buffer[96];
   const int written = std::snprintf(
-      buffer, sizeof buffer, "  %zu/%zu cells (%3.0f%%) ETA %.1fs", done,
+      buffer, sizeof buffer, "  %zu/%zu cells (%3.0f%%) ETA %s", done,
       total_, 100.0 * static_cast<double>(done) / static_cast<double>(total_),
-      eta);
+      eta_text);
   std::string line(buffer, written > 0 ? static_cast<std::size_t>(written) : 0);
   // Pad with spaces so a shrinking line fully overwrites the previous one.
   while (line.size() < rendered_chars_) line += ' ';

@@ -35,6 +35,10 @@ class ProgressMeter {
 
   /// One cell done. Renders "  done/total cells (pct%) ETA x.xs" in
   /// place, at most every ~100 ms (the final cell always renders).
+  /// The ETA shows "--" until a second job has completed: the completion
+  /// *rate* is seeded from the gap after the first finished job, so
+  /// startup cost (spec load, pool spin-up) cannot poison the estimate,
+  /// and it is clamped to zero once done == total.
   void job_finished();
 
   /// Erases the animation line (idempotent).
@@ -51,6 +55,9 @@ class ProgressMeter {
   std::ostream& out_;
   std::chrono::steady_clock::time_point started_;
   std::chrono::steady_clock::time_point last_render_;
+  /// When the first job completed; the rate estimate covers the
+  /// (done_ - 1) jobs finished after this instant.
+  std::chrono::steady_clock::time_point first_done_;
 };
 
 }  // namespace pwcet::obs

@@ -1,10 +1,17 @@
 #include "support/json_doc.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace pwcet {
 namespace {
+
+/// Containers (objects/arrays) may nest at most this deep. The parser is
+/// recursive-descent, so unbounded nesting would turn hostile input into
+/// a stack overflow; 256 levels is far beyond any document this tree
+/// reads or writes, and rejecting with a diagnostic beats crashing.
+constexpr int kMaxNestingDepth = 256;
 
 [[noreturn]] void fail(const std::string& source, int line,
                        const std::string& message) {
@@ -73,7 +80,20 @@ class JsonParser {
     syntax(std::string("unexpected character '") + c + "', expected " + what);
   }
 
+  /// RAII nesting guard entered by parse_object / parse_array.
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxNestingDepth)
+        parser_.syntax("nesting deeper than " +
+                       std::to_string(kMaxNestingDepth) +
+                       " levels (document rejected)");
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    JsonParser& parser_;
+  };
+
   Json parse_object() {
+    const DepthGuard depth(*this);
     Json out;
     out.type = Json::Type::kObject;
     skip_ws();
@@ -107,6 +127,7 @@ class JsonParser {
   }
 
   Json parse_array() {
+    const DepthGuard depth(*this);
     Json out;
     out.type = Json::Type::kArray;
     skip_ws();
@@ -226,6 +247,11 @@ class JsonParser {
     out.number = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size())
       syntax("malformed number \"" + token + "\"");
+    // Overflow to infinity (e.g. 1e999) would silently poison every
+    // arithmetic consumer downstream; underflow-to-zero is accepted as
+    // the nearest representable value.
+    if (std::isinf(out.number))
+      syntax("number \"" + token + "\" overflows a double");
     if (token.find_first_of(".eE") == std::string::npos && token[0] != '-') {
       errno = 0;
       const unsigned long long exact = std::strtoull(token.c_str(), &end, 10);
@@ -269,6 +295,7 @@ class JsonParser {
   const std::string& source_;
   std::size_t pos_ = 0;
   int line_ = 1;
+  int depth_ = 0;
 };
 
 }  // namespace

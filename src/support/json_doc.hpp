@@ -71,6 +71,9 @@ struct Json {
 /// the origin in diagnostics (a file path, or "<inline>" for tests).
 /// Duplicate object keys are rejected — every reader here treats objects
 /// as maps, and a silently-dropped duplicate would hide user error.
+/// Containers nesting deeper than 256 levels and numbers overflowing a
+/// double (e.g. `1e999`) are rejected with a diagnostic rather than
+/// risking a parser stack overflow or a silent infinity downstream.
 /// \throws JsonParseError on any syntax problem.
 Json parse_json(const std::string& text, const std::string& source);
 

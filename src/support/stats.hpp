@@ -30,6 +30,14 @@ double empirical_exceedance(std::span<const double> sample, double threshold);
 /// Returns a sorted copy of the sample.
 std::vector<double> sorted(std::span<const double> sample);
 
+/// Sample median (empirical_quantile at 0.5): the location estimate the
+/// benchmark harness reports, robust to scheduler-noise outliers.
+double median(std::span<const double> sample);
+
+/// Median absolute deviation around the median — the harness's robust
+/// dispersion estimate. Multiply by 1.4826 for a normal-consistent sigma.
+double median_abs_deviation(std::span<const double> sample);
+
 /// Geometric mean; all inputs must be strictly positive.
 double geometric_mean(std::span<const double> sample);
 

@@ -421,6 +421,133 @@ TEST_F(CliTest, CacheStatsRendersPerLayerStoreCounters) {
   EXPECT_NE(result.err.find("bad.json"), std::string::npos);
 }
 
+// ---- bench -----------------------------------------------------------------
+
+TEST_F(CliTest, BenchListNamesTheBuiltinScenarios) {
+  const CliResult result = run_cli({"bench", "list"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  for (const char* needle :
+       {"campaign.geometry_sweep.cold", "campaign.geometry_sweep.warm",
+        "pipeline.full", "micro.extract", "micro.maximize.ilp"})
+    EXPECT_NE(result.out.find(needle), std::string::npos) << needle;
+}
+
+TEST_F(CliTest, BenchRunWritesALoadableReportAndSelfDiffsClean) {
+  // One cheap micro scenario, minimal sampling: this is a contract test
+  // for the artifact shape and the diff plumbing, not a measurement.
+  const std::string a = (fs::path(dir_) / "a.json").string();
+  CliResult result =
+      run_cli({"bench", "run", "--scenarios", "micro.extract",
+               "--repetitions", "2", "--warmup", "0", "--output", a});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.err.find("micro.extract"), std::string::npos);
+
+  const Json doc = parse_json(read_file(a), a);
+  EXPECT_EQ(doc.find("schema")->string, "pwcet-bench-report-v1");
+  ASSERT_NE(doc.find("environment"), nullptr);
+  EXPECT_EQ(doc.find("environment")->find("threads")->string, "1");
+  const Json* scenarios = doc.find("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  ASSERT_EQ(scenarios->array.size(), 1u);
+  EXPECT_EQ(scenarios->array[0].find("name")->string, "micro.extract");
+  EXPECT_EQ(scenarios->array[0].find("samples")->array.size(), 2u);
+
+  // A report diffed against itself has nothing to flag.
+  result = run_cli({"bench", "diff", a, a});
+  EXPECT_EQ(result.code, 0) << result.out;
+  EXPECT_NE(result.out.find("0 regressed"), std::string::npos)
+      << result.out;
+}
+
+TEST_F(CliTest, BenchRunRecordsAnInjectedSlowdownInTheEnvironment) {
+  const std::string slow = (fs::path(dir_) / "slow.json").string();
+  const CliResult result = run_cli(
+      {"bench", "run", "--scenarios", "micro.extract", "--repetitions", "2",
+       "--warmup", "0", "--inject-slowdown", "wall_ns=10.0", "--output",
+       slow});
+  ASSERT_EQ(result.code, 0) << result.err;
+  // A doctored artifact can never masquerade as a clean baseline.
+  EXPECT_NE(read_file(slow).find("inject_slowdown"), std::string::npos);
+  EXPECT_NE(read_file(slow).find("wall_ns=10.000"), std::string::npos);
+}
+
+TEST_F(CliTest, BenchDiffExitsThreeOnARegressedArtifactPair) {
+  // Fixed-number artifacts keep the exit-code contract deterministic
+  // under any system load; real-timing pairs are exercised (and allowed
+  // to be noisy) by the CI gate instead.
+  auto artifact = [this](const std::string& name, const std::string& median) {
+    return write_file(
+        name,
+        "{\"schema\":\"pwcet-bench-report-v1\",\n"
+        "\"environment\":{\"threads\":\"1\"},\n"
+        "\"scenarios\":[{\"name\":\"micro.extract\",\"samples\":[],\n"
+        "\"stats\":{\"wall_ns\":{\"count\":5,\"median\":" + median +
+        ",\"min\":900000.0,\"p90\":1100000.0,\"mad\":1000.0}}}]}\n");
+  };
+  const std::string base = artifact("base.json", "1000000.0");
+  const std::string slow = artifact("slow.json", "10000000.0");
+
+  const CliResult result = run_cli({"bench", "diff", base, slow});
+  EXPECT_EQ(result.code, 3) << result.out;
+  EXPECT_NE(result.out.find("regressed: micro.extract/wall_ns"),
+            std::string::npos)
+      << result.out;
+  // Reversed, the same pair reads as an improvement, exit 0.
+  const CliResult reversed = run_cli({"bench", "diff", slow, base});
+  EXPECT_EQ(reversed.code, 0) << reversed.out;
+  EXPECT_NE(reversed.out.find("1 improved"), std::string::npos)
+      << reversed.out;
+}
+
+TEST_F(CliTest, BenchUsageErrors) {
+  EXPECT_EQ(run_cli({"bench"}).code, 2);
+  EXPECT_EQ(run_cli({"bench", "frobnicate"}).code, 2);
+  EXPECT_EQ(run_cli({"bench", "run", "--repetitions", "0"}).code, 2);
+  EXPECT_EQ(run_cli({"bench", "run", "--repetitions", "soon"}).code, 2);
+  EXPECT_EQ(run_cli({"bench", "run", "--inject-slowdown", "nofactor"}).code,
+            2);
+  EXPECT_EQ(run_cli({"bench", "run", "--inject-slowdown", "x=-1"}).code, 2);
+  EXPECT_EQ(run_cli({"bench", "diff", "only_one.json"}).code, 2);
+  EXPECT_EQ(run_cli({"bench", "diff", "a.json", "b.json", "--threshold",
+                     "nope"})
+                .code,
+            2);
+  // An unknown scenario filter and an unreadable artifact are runtime
+  // failures (1), distinct from both usage (2) and regression (3).
+  EXPECT_EQ(run_cli({"bench", "run", "--scenarios", "no.such"}).code, 1);
+  EXPECT_EQ(
+      run_cli({"bench", "diff", dir_ + "/a.json", dir_ + "/b.json"}).code,
+      1);
+}
+
+TEST_F(CliTest, ProfileTableCarriesPercentileColumns) {
+  const CliResult result = run_cli({"run", tiny_spec_path(), "--threads",
+                                    "1", "--profile"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  for (const char* column : {"p50 ms", "p90 ms", "p99 ms"})
+    EXPECT_NE(result.err.find(column), std::string::npos) << column;
+}
+
+TEST_F(CliTest, CacheStatsRendersHistogramPercentiles) {
+  const std::string spec_path = tiny_spec_path();
+  const std::string metrics = (fs::path(dir_) / "metrics.json").string();
+  ASSERT_EQ(run_cli({"run", spec_path, "--threads", "1", "--metrics-out",
+                     metrics})
+                .code,
+            0);
+  const char* saved = std::getenv("PWCET_CACHE_DIR");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::unsetenv("PWCET_CACHE_DIR");
+  const CliResult result = run_cli({"cache", "stats", "--metrics", metrics});
+  if (saved != nullptr) ::setenv("PWCET_CACHE_DIR", saved_value.c_str(), 1);
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("histogram percentiles"), std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("pipeline.analyze"), std::string::npos);
+  for (const char* column : {"p50 ms", "p90 ms", "p99 ms"})
+    EXPECT_NE(result.out.find(column), std::string::npos) << column;
+}
+
 TEST_F(CliTest, CacheWithoutDirectoryIsAnError) {
   // No --cache-dir and no PWCET_CACHE_DIR: refuse rather than guess.
   const char* saved = std::getenv("PWCET_CACHE_DIR");

@@ -240,6 +240,56 @@ TEST_F(ObsTest, SnapshotJsonParsesAndRoundTripsValues) {
   }
 }
 
+TEST_F(ObsTest, QuantileInterpolatesInsideTheBucket) {
+  // {4,5,6,7} all land in bucket [4,7]: the interpolated quantiles must
+  // match the exact empirical ones (p50 = 5.5, p90 = 6.7) because the
+  // samples are uniform over the bucket.
+  obs::DurationHistogram histogram;
+  for (const std::uint64_t ns : {4u, 5u, 6u, 7u}) histogram.observe_ns(ns);
+  const auto snap = histogram.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile_ns(0.5), 5.5);
+  EXPECT_DOUBLE_EQ(snap.quantile_ns(0.9), 6.7);
+}
+
+TEST_F(ObsTest, QuantileWalksBucketsAndClampsToTheObservedEnvelope) {
+  obs::DurationHistogram spread;
+  for (const std::uint64_t ns : {1u, 4u, 5u, 6u, 7u, 64u})
+    spread.observe_ns(ns);
+  // Median target falls in the [4,7] bucket after one sample in [1,1].
+  EXPECT_DOUBLE_EQ(spread.snapshot().quantile_ns(0.5), 5.5);
+  // Out-of-range q clamps; an empty histogram reads zero.
+  EXPECT_DOUBLE_EQ(spread.snapshot().quantile_ns(-1.0),
+                   spread.snapshot().quantile_ns(0.0));
+  EXPECT_DOUBLE_EQ(obs::DurationHistogram().snapshot().quantile_ns(0.5), 0.0);
+
+  // A single sample: every quantile is that sample, because the bucket
+  // interpolation is clamped to the [min_ns, max_ns] envelope (1000 sits
+  // mid-bucket in [512, 1023] — unclamped interpolation would undershoot).
+  obs::DurationHistogram single;
+  single.observe_ns(1000);
+  const auto snap = single.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile_ns(0.01), 1000.0);
+  EXPECT_DOUBLE_EQ(snap.quantile_ns(0.5), 1000.0);
+  EXPECT_DOUBLE_EQ(snap.quantile_ns(0.99), 1000.0);
+}
+
+TEST_F(ObsTest, SnapshotJsonCarriesDerivedPercentiles) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.enable();
+  for (const std::uint64_t ns : {4u, 5u, 6u, 7u})
+    registry.observe_ns("gamma.time", ns);
+  registry.disable();
+
+  const Json doc = parse_json(registry.json_snapshot(), "<metrics>");
+  const Json* gamma = doc.find("histograms")->find("gamma.time");
+  ASSERT_NE(gamma, nullptr);
+  ASSERT_NE(gamma->find("p50_ns"), nullptr);
+  ASSERT_NE(gamma->find("p90_ns"), nullptr);
+  ASSERT_NE(gamma->find("p99_ns"), nullptr);
+  EXPECT_DOUBLE_EQ(gamma->find("p50_ns")->number, 5.5);
+  EXPECT_DOUBLE_EQ(gamma->find("p90_ns")->number, 6.7);
+}
+
 // ---- campaign integration -------------------------------------------------
 
 TEST_F(ObsTest, StructuralCountersAreDeterministicForSerialColdRuns) {
@@ -377,6 +427,22 @@ TEST_F(ObsTest, ProgressMeterRendersCountsAndErasesItself) {
   // finish() leaves the cursor on an erased line: the output ends with a
   // carriage return after blanks, so the next stderr line starts clean.
   EXPECT_EQ(text.back(), '\r');
+}
+
+TEST_F(ObsTest, ProgressMeterSeedsEtaAfterFirstJobAndClampsAtCompletion) {
+  std::ostringstream out;
+  obs::ProgressMeter meter(3, out, /*enabled=*/true);
+  // One completed job is not a rate yet (the gap before it is startup
+  // cost, not throughput): the first render must show "--", not a number
+  // extrapolated from thin air.
+  meter.job_finished();
+  EXPECT_NE(out.str().find("ETA --"), std::string::npos);
+  meter.job_finished();
+  meter.job_finished();
+  // The final cell always renders, and at done == total the ETA is
+  // clamped to zero — never a residual positive estimate.
+  EXPECT_NE(out.str().find("ETA 0.0s"), std::string::npos);
+  meter.finish();
 }
 
 TEST_F(ObsTest, DisabledProgressMeterWritesNothing) {

@@ -1,9 +1,14 @@
-// Unit tests for src/support: RNG, statistics, table formatting.
+// Unit tests for src/support: RNG, statistics (including the robust
+// median/MAD pair benchlib builds on), table formatting, and the JSON
+// parser's hostile-input edge cases (nesting depth, lone surrogates,
+// overflowing numbers, trailing bytes).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <string>
 
+#include "support/json_doc.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -126,6 +131,77 @@ TEST(Stats, GeometricMean) {
   EXPECT_NEAR(geometric_mean(v), 2.0, 1e-12);
   const std::vector<double> same{3.0, 3.0, 3.0};
   EXPECT_NEAR(geometric_mean(same), 3.0, 1e-12);
+}
+
+TEST(Stats, MedianOddEvenAndUnsorted) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Stats, MedianAbsDeviationIsRobustToOneOutlier) {
+  // {1,2,3,4,5}: median 3, |x-3| = {2,1,0,1,2}, MAD = 1.
+  EXPECT_DOUBLE_EQ(
+      median_abs_deviation(std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}),
+      1.0);
+  // Replacing the max with a huge outlier leaves the MAD unchanged —
+  // the property the bench noise band depends on (stddev would explode).
+  EXPECT_DOUBLE_EQ(
+      median_abs_deviation(std::vector<double>{1.0, 2.0, 3.0, 4.0, 1e9}),
+      1.0);
+  EXPECT_DOUBLE_EQ(median_abs_deviation(std::vector<double>{5.0, 5.0}), 0.0);
+}
+
+// ---- json_doc hostile inputs ----------------------------------------------
+
+std::string nested_arrays(int depth) {
+  return std::string(depth, '[') + "1" + std::string(depth, ']');
+}
+
+TEST(JsonDoc, RejectsNestingBeyondTheDepthLimit) {
+  try {
+    parse_json(nested_arrays(300), "<deep>");
+    FAIL() << "300-deep nesting unexpectedly parsed";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+}
+
+TEST(JsonDoc, AcceptsDeepButBoundedNesting) {
+  const Json doc = parse_json(nested_arrays(200), "<deep-ok>");
+  const Json* cursor = &doc;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(cursor->type, Json::Type::kArray);
+    ASSERT_EQ(cursor->array.size(), 1u);
+    cursor = &cursor->array[0];
+  }
+  EXPECT_EQ(cursor->integer, 1u);
+}
+
+TEST(JsonDoc, RejectsLoneSurrogates) {
+  // A high surrogate with no low half, and a bare low surrogate: both are
+  // ill-formed UTF-16 escapes, not encodable code points.
+  EXPECT_THROW(parse_json("\"\\ud800\"", "<surrogate>"), JsonParseError);
+  EXPECT_THROW(parse_json("\"\\udc00\"", "<surrogate>"), JsonParseError);
+  // A proper pair still decodes.
+  const Json ok = parse_json("\"\\ud83d\\ude00\"", "<pair>");
+  EXPECT_EQ(ok.string, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonDoc, RejectsNumbersOverflowingADouble) {
+  try {
+    parse_json("1e999", "<overflow>");
+    FAIL() << "1e999 unexpectedly parsed";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos);
+  }
+  // Underflow-to-zero is representable, not an error.
+  EXPECT_DOUBLE_EQ(parse_json("1e-999", "<underflow>").number, 0.0);
+}
+
+TEST(JsonDoc, RejectsTrailingBytesAfterTheDocument) {
+  EXPECT_THROW(parse_json("{} x", "<trailing>"), JsonParseError);
+  EXPECT_THROW(parse_json("1 2", "<trailing>"), JsonParseError);
 }
 
 TEST(Table, AlignsColumnsAndCounts) {
