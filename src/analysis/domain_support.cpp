@@ -1,0 +1,75 @@
+#include "analysis/domain_support.hpp"
+
+#include "cfg/basic_block.hpp"
+
+namespace pwcet {
+
+namespace {
+
+void append_line(std::vector<LineRef>& seq, const CacheConfig& config,
+                 Address a) {
+  const LineAddress line = config.line_of(a);
+  if (!seq.empty() && seq.back().line == line) {
+    ++seq.back().fetches;
+  } else {
+    seq.push_back({line, config.set_of_line(line), 1});
+  }
+}
+
+}  // namespace
+
+ReferenceMap extract_unified_references(const ControlFlowGraph& cfg,
+                                        const CacheConfig& config) {
+  config.validate();
+  ReferenceMap refs(cfg.block_count());
+  for (const BasicBlock& b : cfg.blocks()) {
+    auto& seq = refs[size_t(b.id)];
+    for (std::uint32_t i = 0; i < b.instruction_count; ++i)
+      append_line(seq, config, b.first_address + i * kInstructionBytes);
+    for (Address a : b.data_addresses) append_line(seq, config, a);
+    for (Address a : b.store_addresses) append_line(seq, config, a);
+  }
+  return refs;
+}
+
+ReferenceMap extract_data_access_references(const ControlFlowGraph& cfg,
+                                            const CacheConfig& config) {
+  config.validate();
+  ReferenceMap refs(cfg.block_count());
+  for (const BasicBlock& b : cfg.blocks()) {
+    auto& seq = refs[size_t(b.id)];
+    for (Address a : b.data_addresses) append_line(seq, config, a);
+    for (Address a : b.store_addresses) append_line(seq, config, a);
+  }
+  return refs;
+}
+
+CostModel secondary_miss_cost_model(const ControlFlowGraph& cfg,
+                                    const ReferenceMap& refs,
+                                    const ClassificationMap& cls,
+                                    Cycles miss_penalty) {
+  CostModel model = CostModel::zero(cfg);
+  const auto miss = static_cast<double>(miss_penalty);
+  for (const BasicBlock& block : cfg.blocks()) {
+    for (std::size_t i = 0; i < refs[size_t(block.id)].size(); ++i) {
+      const RefClass& ref_class = cls[size_t(block.id)][i];
+      switch (ref_class.chmc) {
+        case Chmc::kAlwaysHit:
+          break;
+        case Chmc::kAlwaysMiss:
+        case Chmc::kNotClassified:
+          model.block_cost[size_t(block.id)] += miss;
+          break;
+        case Chmc::kFirstMiss:
+          if (ref_class.scope == kNoLoop)
+            model.root_entry_cost += miss;
+          else
+            model.loop_entry_cost[size_t(ref_class.scope)] += miss;
+          break;
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace pwcet

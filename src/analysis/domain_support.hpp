@@ -1,0 +1,45 @@
+/// \file
+/// Shared helpers for the secondary CacheDomain plugins.
+///
+/// The TLB and shared-L2 domains both analyze the *unified* access stream
+/// of a block — instruction fetches, then data loads, then stores — just
+/// at different granularities (page vs L2 line); the write-back D-cache
+/// domain analyzes loads-then-stores at D-cache line granularity. All
+/// three charge only incremental miss penalties into the summed fault-free
+/// time model (the primary domain owns the execution-time base costs), so
+/// the Chmc-driven cost accumulation is shared here too.
+#pragma once
+
+#include "cache/cache_config.hpp"
+#include "cache/references.hpp"
+#include "cfg/cfg.hpp"
+#include "icache/chmc.hpp"
+#include "support/types.hpp"
+#include "wcet/cost_model.hpp"
+
+namespace pwcet {
+
+/// Per-block unified reference stream: the block's instruction fetch
+/// addresses, then its data loads, then its stores, mapped to `config`
+/// lines (pages, for the TLB). Consecutive same-line accesses merge with
+/// their fetch counts summed, mirroring extract_references.
+ReferenceMap extract_unified_references(const ControlFlowGraph& cfg,
+                                        const CacheConfig& config);
+
+/// Per-block data access stream: loads, then stores, at `config` line
+/// granularity. The write-back D-cache analogue of
+/// extract_data_references (which is load-only).
+ReferenceMap extract_data_access_references(const ControlFlowGraph& cfg,
+                                            const CacheConfig& config);
+
+/// Secondary-domain time model: `miss_penalty` cycles per reference that
+/// is not provably a fault-free hit, placed at the block / loop-entry /
+/// root-entry position its CHMC dictates. Charges no hit latencies — the
+/// access instruction's execution cycle is already charged by the primary
+/// domain.
+CostModel secondary_miss_cost_model(const ControlFlowGraph& cfg,
+                                    const ReferenceMap& refs,
+                                    const ClassificationMap& cls,
+                                    Cycles miss_penalty);
+
+}  // namespace pwcet

@@ -1,0 +1,14 @@
+#include "analysis/l2_domain.hpp"
+
+namespace pwcet {
+
+StoreKey L2Domain::row_key_prefix(const Program& program,
+                                  WcetEngine engine) const {
+  return KeyHasher("pwcet-l2-rows-v1")
+      .mix_key(hash_program(program))
+      .mix_key(hash_cache_config(config_))
+      .mix_u64(static_cast<std::uint64_t>(engine))
+      .finish();
+}
+
+}  // namespace pwcet

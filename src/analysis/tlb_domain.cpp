@@ -1,0 +1,14 @@
+#include "analysis/tlb_domain.hpp"
+
+namespace pwcet {
+
+StoreKey TlbDomain::row_key_prefix(const Program& program,
+                                   WcetEngine engine) const {
+  return KeyHasher("pwcet-tlb-rows-v1")
+      .mix_key(hash_program(program))
+      .mix_key(hash_cache_config(config_))
+      .mix_u64(static_cast<std::uint64_t>(engine))
+      .finish();
+}
+
+}  // namespace pwcet

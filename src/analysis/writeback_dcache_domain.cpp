@@ -1,0 +1,14 @@
+#include "analysis/writeback_dcache_domain.hpp"
+
+namespace pwcet {
+
+StoreKey WritebackDcacheDomain::row_key_prefix(const Program& program,
+                                               WcetEngine engine) const {
+  return KeyHasher("pwcet-wbdcache-rows-v1")
+      .mix_key(hash_program(program))
+      .mix_key(hash_cache_config(effective_))
+      .mix_u64(static_cast<std::uint64_t>(engine))
+      .finish();
+}
+
+}  // namespace pwcet

@@ -4,6 +4,10 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "analysis/dcache_domain.hpp"
+#include "analysis/icache_domain.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/tlb_domain.hpp"
 #include "core/pwcet_analyzer.hpp"
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
@@ -138,6 +142,40 @@ std::vector<Scenario> builtin_scenarios() {
              keep(analyzer.analyze(faults, Mechanism::kNone));
              keep(analyzer.analyze(faults, Mechanism::kReliableWay));
              keep(analyzer.analyze(faults, Mechanism::kSharedReliableBuffer));
+           }
+         }});
+  }
+
+  // ---- pipeline: three-domain composition (icache + dcache + TLB) --------
+  {
+    scenarios.push_back(
+        {"pipeline.tlb",
+         "3-domain pipeline (icache + dcache + tlb) + all three mechanisms "
+         "on interp (3 iterations); exercises the ncore composition path",
+         {},
+         [](Recorder&, const ScenarioOptions&) {
+           const Program program = workloads::build("interp");
+           const CacheConfig icache = CacheConfig::paper_default();
+           CacheConfig dcache = CacheConfig::paper_default();
+           dcache.sets = 8;
+           CacheConfig tlb;
+           tlb.sets = 8;  // 16 entries, 2-way
+           tlb.ways = 2;
+           tlb.line_bytes = 64;  // page size
+           tlb.hit_latency = 0;
+           tlb.miss_penalty = 30;
+           const FaultModel faults(1e-4);
+           for (int i = 0; i < 3; ++i) {
+             const PwcetPipeline pipeline(
+                 program, {std::make_shared<IcacheDomain>(icache),
+                           std::make_shared<DcacheDomain>(dcache),
+                           std::make_shared<TlbDomain>(tlb)});
+             for (const Mechanism mech :
+                  {Mechanism::kNone, Mechanism::kReliableWay,
+                   Mechanism::kSharedReliableBuffer}) {
+               keep(pipeline.analyze(
+                   faults, std::vector<Mechanism>{mech, mech, mech}));
+             }
            }
          }});
   }

@@ -33,6 +33,10 @@ struct BasicBlock {
   /// known addresses — scalars and lookup tables; input-dependent accesses
   /// are out of scope and must not be recorded here.
   std::vector<Address> data_addresses;
+  /// Data addresses this block stores to, in program order. Same static
+  /// restriction as `data_addresses`; consumed by the write-back D-cache
+  /// domain (dirty-line state) and by the unified TLB/L2 streams.
+  std::vector<Address> store_addresses;
   std::vector<EdgeId> out_edges;
   std::vector<EdgeId> in_edges;
 

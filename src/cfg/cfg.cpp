@@ -34,6 +34,12 @@ void ControlFlowGraph::set_data_addresses(BlockId b,
   blocks_[size_t(b)].data_addresses = std::move(addresses);
 }
 
+void ControlFlowGraph::set_store_addresses(BlockId b,
+                                           std::vector<Address> addresses) {
+  PWCET_EXPECTS(b >= 0 && static_cast<size_t>(b) < blocks_.size());
+  blocks_[size_t(b)].store_addresses = std::move(addresses);
+}
+
 LoopId ControlFlowGraph::add_loop(LoopInfo info) {
   const LoopId id = static_cast<LoopId>(loops_.size());
   info.id = id;

@@ -36,6 +36,9 @@ class ControlFlowGraph {
   /// Records the statically known data addresses block `b` loads.
   void set_data_addresses(BlockId b, std::vector<Address> addresses);
 
+  /// Records the statically known data addresses block `b` stores to.
+  void set_store_addresses(BlockId b, std::vector<Address> addresses);
+
   void set_entry(BlockId b) { entry_ = b; }
   void set_exit(BlockId b) { exit_ = b; }
   BlockId entry() const { return entry_; }

@@ -33,6 +33,18 @@ StmtId ProgramBuilder::code_with_loads(std::uint32_t n,
   return add_stmt(std::move(s));
 }
 
+StmtId ProgramBuilder::code_with_accesses(std::uint32_t n,
+                                          std::vector<Address> loads,
+                                          std::vector<Address> stores) {
+  PWCET_EXPECTS(n > 0);
+  Stmt s;
+  s.kind = Kind::kCode;
+  s.instructions = n;
+  s.loads = std::move(loads);
+  s.stores = std::move(stores);
+  return add_stmt(std::move(s));
+}
+
 StmtId ProgramBuilder::seq(std::vector<StmtId> stmts) {
   Stmt s;
   s.kind = Kind::kSeq;
@@ -155,6 +167,7 @@ ProgramBuilder::Region ProgramBuilder::instantiate(StmtId sid,
       const BlockId b = st.new_block(s.chunk_address, s.instructions);
       if (!s.loads.empty())
         cfg.set_data_addresses(b, s.loads);  // shared across call sites
+      if (!s.stores.empty()) cfg.set_store_addresses(b, s.stores);
       return {b, b, st.leaf(b)};
     }
     case Kind::kSeq: {

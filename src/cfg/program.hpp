@@ -82,6 +82,12 @@ class ProgramBuilder {
   /// extension; code-only analyses ignore the loads.
   StmtId code_with_loads(std::uint32_t n, std::vector<Address> loads);
 
+  /// `n` straight-line instructions with statically known loads followed by
+  /// statically known stores. Stores feed the write-back D-cache domain
+  /// (dirty-line state) and the unified TLB/L2 reference streams.
+  StmtId code_with_accesses(std::uint32_t n, std::vector<Address> loads,
+                            std::vector<Address> stores);
+
   /// Sequential composition.
   StmtId seq(std::vector<StmtId> stmts);
 
@@ -115,6 +121,7 @@ class ProgramBuilder {
     Kind kind = Kind::kCode;
     std::uint32_t instructions = 0;  // kCode size / cond size / header size
     std::vector<Address> loads;      // kCode only: data addresses loaded
+    std::vector<Address> stores;     // kCode only: data addresses stored to
     std::vector<StmtId> children;
     std::int64_t bound = 0;
     FunctionId callee = -1;

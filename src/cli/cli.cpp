@@ -414,6 +414,7 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
       << " pfails x " << spec.mechanisms.size() << " mechanisms x "
       << spec.engines.size() << " engines x " << spec.kinds.size()
       << " kinds x " << spec.dcaches.size() << " dcaches x "
+      << spec.tlbs.size() << " tlbs x " << spec.l2s.size() << " l2s x "
       << spec.dcache_mechanisms.size() << " dmechs x "
       << spec.sample_counts.size() << " samples = " << jobs.size()
       << " jobs\n";
@@ -423,12 +424,28 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
         << " exceedance points per job\n";
   out << "spec key: " << campaign_spec_key(spec).hex() << "\n\n";
 
-  TextTable table({"#", "task", "geometry", "dcache", "pfail", "mech",
-                   "dmech", "engine", "kind", "samples", "seed"});
+  // Each cache-domain axis gets its own geometry column so a grid mixing
+  // TLB and L2 cells stays readable: the dcache label carries a "-wb<N>"
+  // write-back marker, the TLB label spells entries/ways/page size.
+  TextTable table({"#", "task", "geometry", "dcache", "tlb", "l2", "pfail",
+                   "mech", "dmech", "engine", "kind", "samples", "seed"});
+  const auto dcache_label = [](const DcacheAxis& d) {
+    if (!d.enabled) return std::string("-");
+    std::string label = geometry_label(d.geometry);
+    if (d.policy == WritePolicy::kWriteBack)
+      label += "-wb" + std::to_string(d.writeback_penalty);
+    return label;
+  };
+  const auto tlb_label = [](const TlbAxis& t) {
+    if (!t.enabled) return std::string("-");
+    return std::to_string(t.entries) + "e" + std::to_string(t.ways) + "w" +
+           std::to_string(t.page_bytes) + "B";
+  };
   for (const CampaignJob& job : jobs)
     table.add_row(
         {std::to_string(job.index), job.task, geometry_label(job.geometry),
-         job.dcache.enabled ? geometry_label(job.dcache.geometry) : "-",
+         dcache_label(job.dcache), tlb_label(job.tlb),
+         job.l2.enabled ? geometry_label(job.l2.geometry) : "-",
          fmt_prob(job.pfail), mechanism_name(job.mechanism),
          job.dcache.enabled ? dcache_mechanism_name(job.dmech) : "-",
          engine_name(job.engine), analysis_kind_name(job.kind),
@@ -464,8 +481,10 @@ int cmd_list(const std::vector<std::string>& args, std::ostream& out,
   out << "\ntasks (extension kernels, data-cache study):\n";
   for (const std::string& name : workloads::extension_names())
     out << "  " << name << "\n";
+  section("cache domains", cache_domain_listings());
   section("mechanisms", mechanism_names());
   section("dcache mechanisms", dcache_mechanism_names());
+  section("write policies", write_policy_names());
   section("engines", engine_names());
   section("kinds", analysis_kind_names());
   return 0;

@@ -66,10 +66,29 @@ void CampaignSpec::validate() const {
   for (const Probability p : pfails) PWCET_EXPECTS(p >= 0.0 && p <= 1.0);
   for (const Probability p : ccdf_exceedances)
     PWCET_EXPECTS(p > 0.0 && p <= 1.0);
+  PWCET_EXPECTS(!tlbs.empty());
+  PWCET_EXPECTS(!l2s.empty());
   bool any_dcache = false;
   for (const DcacheAxis& d : dcaches) {
-    if (d.enabled) d.geometry.validate();
+    if (d.enabled) {
+      d.geometry.validate();
+      PWCET_EXPECTS(d.writeback_penalty >= 0);
+    }
     any_dcache |= d.enabled;
+  }
+  bool any_tlb = false;
+  for (const TlbAxis& t : tlbs) {
+    if (t.enabled) {
+      PWCET_EXPECTS(t.entries > 0 && t.ways > 0);
+      PWCET_EXPECTS(t.entries % t.ways == 0);
+      t.geometry().validate();
+    }
+    any_tlb |= t.enabled;
+  }
+  bool any_l2 = false;
+  for (const L2Axis& l : l2s) {
+    if (l.enabled) l.geometry.validate();
+    any_l2 |= l.enabled;
   }
   for (const AnalysisKind kind : kinds) {
     if (kind == AnalysisKind::kMbpta) {
@@ -80,9 +99,11 @@ void CampaignSpec::validate() const {
     if (kind == AnalysisKind::kSimulation)
       PWCET_EXPECTS(simulation_chips > 0);
     // The MBPTA protocol, the fault-injection simulator and the slack
-    // oracle model the instruction cache only; a combined I+D analysis
-    // exists only for the SPTA pipeline (dcache/dcache_analysis.hpp).
-    if (kind != AnalysisKind::kSpta) PWCET_EXPECTS(!any_dcache);
+    // oracle model the instruction cache only; combined multi-domain
+    // analyses (D-cache, TLB, shared L2) exist only for the SPTA
+    // pipeline (analysis/pipeline.hpp).
+    if (kind != AnalysisKind::kSpta)
+      PWCET_EXPECTS(!any_dcache && !any_tlb && !any_l2);
   }
   if (contains(kinds, AnalysisKind::kSlack))
     // Conservatism is measured against a reliability mechanism's static
@@ -99,9 +120,23 @@ std::string CampaignJob::id() const {
                 analysis_kind_name(kind).c_str());
   std::string out = buf;
   if (dcache.enabled) {
-    std::snprintf(buf, sizeof buf, "/D%ux%ux%uB/%s", dcache.geometry.sets,
-                  dcache.geometry.ways, dcache.geometry.line_bytes,
+    char policy[24] = "";
+    if (dcache.policy == WritePolicy::kWriteBack)
+      std::snprintf(policy, sizeof policy, "-wb%lld",
+                    static_cast<long long>(dcache.writeback_penalty));
+    std::snprintf(buf, sizeof buf, "/D%ux%ux%uB%s/%s", dcache.geometry.sets,
+                  dcache.geometry.ways, dcache.geometry.line_bytes, policy,
                   dcache_mechanism_name(dmech).c_str());
+    out += buf;
+  }
+  if (tlb.enabled) {
+    std::snprintf(buf, sizeof buf, "/T%ue%uw%uB", tlb.entries, tlb.ways,
+                  tlb.page_bytes);
+    out += buf;
+  }
+  if (l2.enabled) {
+    std::snprintf(buf, sizeof buf, "/L%ux%ux%uB", l2.geometry.sets,
+                  l2.geometry.ways, l2.geometry.line_bytes);
     out += buf;
   }
   if (samples != 0) {
@@ -134,6 +169,22 @@ std::uint64_t campaign_job_seed(const CampaignSpec& spec,
     seed = Rng::derive_seed(seed, hash_geometry(job.dcache.geometry));
     seed = Rng::derive_seed(seed,
                             static_cast<std::uint64_t>(job.resolved_dmech()));
+    if (job.dcache.policy == WritePolicy::kWriteBack) {
+      // Tag words keep the chains of the optional axes from aliasing
+      // each other (a TLB geometry must never derive the same seed as an
+      // identical L2 geometry).
+      seed = Rng::derive_seed(seed, 0x5742);  // "WB"
+      seed = Rng::derive_seed(
+          seed, static_cast<std::uint64_t>(job.dcache.writeback_penalty));
+    }
+  }
+  if (job.tlb.enabled) {
+    seed = Rng::derive_seed(seed, 0x544c42);  // "TLB"
+    seed = Rng::derive_seed(seed, hash_geometry(job.tlb.geometry()));
+  }
+  if (job.l2.enabled) {
+    seed = Rng::derive_seed(seed, 0x4c32);  // "L2"
+    seed = Rng::derive_seed(seed, hash_geometry(job.l2.geometry));
   }
   if (job.samples != 0)
     seed = Rng::derive_seed(seed, static_cast<std::uint64_t>(job.samples));
@@ -151,45 +202,66 @@ std::vector<CampaignJob> expand_campaign(const CampaignSpec& spec) {
           for (std::size_t e = 0; e < spec.engines.size(); ++e)
             for (std::size_t k = 0; k < spec.kinds.size(); ++k)
               for (std::size_t d = 0; d < spec.dcaches.size(); ++d)
-                for (std::size_t dm = 0; dm < spec.dcache_mechanisms.size();
-                     ++dm)
-                  for (std::size_t n = 0; n < spec.sample_counts.size();
-                       ++n) {
-                    CampaignJob job;
-                    job.index = jobs.size();
-                    job.task_i = t;
-                    job.geometry_i = g;
-                    job.pfail_i = p;
-                    job.mechanism_i = m;
-                    job.engine_i = e;
-                    job.kind_i = k;
-                    job.dcache_i = d;
-                    job.dmech_i = dm;
-                    job.samples_i = n;
-                    job.task = spec.tasks[t];
-                    job.geometry = spec.geometries[g];
-                    job.pfail = spec.pfails[p];
-                    job.mechanism = spec.mechanisms[m];
-                    job.engine = spec.engines[e];
-                    job.kind = spec.kinds[k];
-                    job.dcache = spec.dcaches[d];
-                    job.dmech = spec.dcache_mechanisms[dm];
-                    job.samples = spec.sample_counts[n];
-                    job.seed = campaign_job_seed(spec, job);
-                    jobs.push_back(std::move(job));
-                  }
+                for (std::size_t tl = 0; tl < spec.tlbs.size(); ++tl)
+                  for (std::size_t l2 = 0; l2 < spec.l2s.size(); ++l2)
+                    for (std::size_t dm = 0;
+                         dm < spec.dcache_mechanisms.size(); ++dm)
+                      for (std::size_t n = 0; n < spec.sample_counts.size();
+                           ++n) {
+                        CampaignJob job;
+                        job.index = jobs.size();
+                        job.task_i = t;
+                        job.geometry_i = g;
+                        job.pfail_i = p;
+                        job.mechanism_i = m;
+                        job.engine_i = e;
+                        job.kind_i = k;
+                        job.dcache_i = d;
+                        job.tlb_i = tl;
+                        job.l2_i = l2;
+                        job.dmech_i = dm;
+                        job.samples_i = n;
+                        job.task = spec.tasks[t];
+                        job.geometry = spec.geometries[g];
+                        job.pfail = spec.pfails[p];
+                        job.mechanism = spec.mechanisms[m];
+                        job.engine = spec.engines[e];
+                        job.kind = spec.kinds[k];
+                        job.dcache = spec.dcaches[d];
+                        job.tlb = spec.tlbs[tl];
+                        job.l2 = spec.l2s[l2];
+                        job.dmech = spec.dcache_mechanisms[dm];
+                        job.samples = spec.sample_counts[n];
+                        job.seed = campaign_job_seed(spec, job);
+                        jobs.push_back(std::move(job));
+                      }
   return jobs;
 }
 
 StoreKey campaign_group_key(const CampaignJob& job) {
-  return KeyHasher("campaign-group-v1")
-      .mix_string(job.task)
+  KeyHasher h("campaign-group-v1");
+  h.mix_string(job.task)
       .mix_key(hash_cache_config(job.geometry))
       .mix_u64(static_cast<std::uint64_t>(job.engine))
       .mix_u64(job.dcache.enabled ? 1 : 0)
       .mix_key(job.dcache.enabled ? hash_cache_config(job.dcache.geometry)
-                                  : StoreKey{})
-      .finish();
+                                  : StoreKey{});
+  // The optional axes join only when active (tag-word-disambiguated, as
+  // in campaign_job_seed) so default-valued cells keep their historic
+  // grouping prefix. Only in-run submission order depends on this key.
+  if (job.dcache.enabled && job.dcache.policy == WritePolicy::kWriteBack) {
+    h.mix_u64(0x5742);
+    h.mix_u64(static_cast<std::uint64_t>(job.dcache.writeback_penalty));
+  }
+  if (job.tlb.enabled) {
+    h.mix_u64(0x544c42);
+    h.mix_key(hash_cache_config(job.tlb.geometry()));
+  }
+  if (job.l2.enabled) {
+    h.mix_u64(0x4c32);
+    h.mix_key(hash_cache_config(job.l2.geometry));
+  }
+  return h.finish();
 }
 
 StoreKey campaign_spec_key(const CampaignSpec& spec) {
@@ -221,6 +293,39 @@ StoreKey campaign_spec_key(const CampaignSpec& spec) {
     h.mix_u64(d.enabled ? 1 : 0);
     h.mix_key(d.enabled ? hash_cache_config(d.geometry) : StoreKey{});
   }
+  // The post-release axes are mixed only when they depart from their
+  // defaults (and behind tag words, so they cannot alias one another or
+  // the trailing fixed fields): every spec written before these axes
+  // existed — including the eight shipped paper artifacts, whose keys are
+  // pinned by spec_io_test — hashes to its historic value, keeping the
+  // persisted campaign-report artifacts warm.
+  bool any_wb = false;
+  for (const DcacheAxis& d : spec.dcaches)
+    any_wb |= d.enabled && (d.policy == WritePolicy::kWriteBack ||
+                            d.writeback_penalty != 0);
+  if (any_wb) {
+    h.mix_u64(0x5742);
+    for (const DcacheAxis& d : spec.dcaches) {
+      h.mix_u64(static_cast<std::uint64_t>(d.policy));
+      h.mix_u64(static_cast<std::uint64_t>(d.writeback_penalty));
+    }
+  }
+  if (!(spec.tlbs.size() == 1 && !spec.tlbs[0].enabled)) {
+    h.mix_u64(0x544c42);
+    h.mix_u64(spec.tlbs.size());
+    for (const TlbAxis& t : spec.tlbs) {
+      h.mix_u64(t.enabled ? 1 : 0);
+      h.mix_key(t.enabled ? hash_cache_config(t.geometry()) : StoreKey{});
+    }
+  }
+  if (!(spec.l2s.size() == 1 && !spec.l2s[0].enabled)) {
+    h.mix_u64(0x4c32);
+    h.mix_u64(spec.l2s.size());
+    for (const L2Axis& l : spec.l2s) {
+      h.mix_u64(l.enabled ? 1 : 0);
+      h.mix_key(l.enabled ? hash_cache_config(l.geometry) : StoreKey{});
+    }
+  }
   h.mix_u64(spec.dcache_mechanisms.size());
   for (const DcacheMechanism m : spec.dcache_mechanisms)
     h.mix_u64(static_cast<std::uint64_t>(m));
@@ -241,7 +346,8 @@ std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
                                std::size_t geometry_i, std::size_t pfail_i,
                                std::size_t mechanism_i, std::size_t engine_i,
                                std::size_t kind_i, std::size_t dcache_i,
-                               std::size_t dmech_i, std::size_t samples_i) {
+                               std::size_t dmech_i, std::size_t samples_i,
+                               std::size_t tlb_i, std::size_t l2_i) {
   PWCET_EXPECTS(task_i < spec.tasks.size());
   PWCET_EXPECTS(geometry_i < spec.geometries.size());
   PWCET_EXPECTS(pfail_i < spec.pfails.size());
@@ -249,6 +355,8 @@ std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
   PWCET_EXPECTS(engine_i < spec.engines.size());
   PWCET_EXPECTS(kind_i < spec.kinds.size());
   PWCET_EXPECTS(dcache_i < spec.dcaches.size());
+  PWCET_EXPECTS(tlb_i < spec.tlbs.size());
+  PWCET_EXPECTS(l2_i < spec.l2s.size());
   PWCET_EXPECTS(dmech_i < spec.dcache_mechanisms.size());
   PWCET_EXPECTS(samples_i < spec.sample_counts.size());
   std::size_t index = task_i;
@@ -258,6 +366,8 @@ std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
   index = index * spec.engines.size() + engine_i;
   index = index * spec.kinds.size() + kind_i;
   index = index * spec.dcaches.size() + dcache_i;
+  index = index * spec.tlbs.size() + tlb_i;
+  index = index * spec.l2s.size() + l2_i;
   index = index * spec.dcache_mechanisms.size() + dmech_i;
   index = index * spec.sample_counts.size() + samples_i;
   return index;

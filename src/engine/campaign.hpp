@@ -59,14 +59,55 @@ enum class DcacheMechanism : std::uint8_t {
 /// Short name ("same" / "none" / "RW" / "SRB"); registry-resolved.
 std::string dcache_mechanism_name(DcacheMechanism m);
 
+/// Data-cache write policy. Write-through (the default, and the only
+/// policy of earlier releases) keeps stores out of the analyzed stream;
+/// write-back allocates stores and prices dirty evictions
+/// (analysis/writeback_dcache_domain.hpp).
+enum class WritePolicy : std::uint8_t { kWriteThrough, kWriteBack };
+
+/// Short name ("write_through" / "write_back"); registry-resolved.
+std::string write_policy_name(WritePolicy policy);
+
 /// One value of the data-cache axis: disabled (instruction-cache-only
 /// analysis, the default) or a data-cache geometry analyzed alongside the
 /// instruction cache (paper §VI future work, dcache/dcache_analysis.hpp).
 struct DcacheAxis {
   bool enabled = false;
   CacheConfig geometry{};
+  WritePolicy policy = WritePolicy::kWriteThrough;
+  Cycles writeback_penalty = 0;  ///< extra cycles per dirty eviction
 
   friend bool operator==(const DcacheAxis&, const DcacheAxis&) = default;
+};
+
+/// One value of the TLB axis: disabled (the default) or a TLB geometry —
+/// entries/ways/page size — analyzed as a page-granular cache domain
+/// (analysis/tlb_domain.hpp) alongside the instruction cache.
+struct TlbAxis {
+  bool enabled = false;
+  std::uint32_t entries = 32;    ///< total translation entries
+  std::uint32_t ways = 2;        ///< associativity (entries % ways == 0)
+  std::uint32_t page_bytes = 64; ///< page size
+  Cycles miss_penalty = 30;      ///< page-walk cost per TLB miss
+
+  /// The TLB expressed as a cache geometry: page-sized lines, entries /
+  /// ways sets. Hit latency is 0 — translation hits are folded into the
+  /// fetch latency the primary domain charges.
+  CacheConfig geometry() const {
+    return CacheConfig{entries / ways, ways, page_bytes, 0, miss_penalty};
+  }
+
+  friend bool operator==(const TlbAxis&, const TlbAxis&) = default;
+};
+
+/// One value of the shared-L2 axis: disabled (the default) or an L2
+/// geometry analyzed as a lookup-through unified second level
+/// (analysis/l2_domain.hpp) alongside the L1 domains.
+struct L2Axis {
+  bool enabled = false;
+  CacheConfig geometry{};
+
+  friend bool operator==(const L2Axis&, const L2Axis&) = default;
 };
 
 /// One axis-per-member cartesian sweep. Empty required axes are rejected
@@ -83,6 +124,11 @@ struct CampaignSpec {
   /// Data-cache axis; the default single "off" entry keeps icache-only
   /// campaigns unchanged. Enabled entries are only valid for SPTA cells.
   std::vector<DcacheAxis> dcaches{DcacheAxis{}};
+  /// TLB axis; same default rule. Enabled entries are SPTA-only and use
+  /// the job's instruction-cache mechanism (no separate pairing axis).
+  std::vector<TlbAxis> tlbs{TlbAxis{}};
+  /// Shared-L2 axis; same default and mechanism rule as `tlbs`.
+  std::vector<L2Axis> l2s{L2Axis{}};
   /// Data-cache mechanism pairing, crossed with `mechanisms`.
   std::vector<DcacheMechanism> dcache_mechanisms{DcacheMechanism::kSame};
   /// MBPTA / simulation population sizes; 0 = the spec-level defaults
@@ -102,7 +148,8 @@ struct CampaignSpec {
   std::size_t job_count() const {
     return tasks.size() * geometries.size() * pfails.size() *
            mechanisms.size() * engines.size() * kinds.size() *
-           dcaches.size() * dcache_mechanisms.size() * sample_counts.size();
+           dcaches.size() * tlbs.size() * l2s.size() *
+           dcache_mechanisms.size() * sample_counts.size();
   }
 
   void validate() const;
@@ -115,7 +162,7 @@ struct CampaignJob {
 
   std::size_t task_i = 0, geometry_i = 0, pfail_i = 0;
   std::size_t mechanism_i = 0, engine_i = 0, kind_i = 0;
-  std::size_t dcache_i = 0, dmech_i = 0, samples_i = 0;
+  std::size_t dcache_i = 0, tlb_i = 0, l2_i = 0, dmech_i = 0, samples_i = 0;
 
   std::string task;
   CacheConfig geometry;
@@ -124,6 +171,8 @@ struct CampaignJob {
   WcetEngine engine = WcetEngine::kIlp;
   AnalysisKind kind = AnalysisKind::kSpta;
   DcacheAxis dcache{};
+  TlbAxis tlb{};
+  L2Axis l2{};
   DcacheMechanism dmech = DcacheMechanism::kSame;
   std::size_t samples = 0;  ///< 0 = spec-level population defaults
 
@@ -135,8 +184,10 @@ struct CampaignJob {
 
   /// Stable human-readable id, e.g. "adpcm/16x4x16B/1.0e-04/SRB/ilp/spta".
   /// Non-default extension axes append suffixes ("/D8x4x16B/SRB" for an
-  /// enabled data cache, "/n400" for an explicit sample count), so ids of
-  /// icache-only cells are unchanged from earlier releases.
+  /// enabled data cache — "-wbN" marks a write-back policy with penalty N
+  /// — "/T32e2w64B" for a TLB, "/L32x4x32B" for a shared L2, "/n400" for
+  /// an explicit sample count), so ids of icache-only cells are unchanged
+  /// from earlier releases.
   std::string id() const;
 };
 
@@ -145,11 +196,13 @@ std::uint64_t campaign_job_seed(const CampaignSpec& spec,
                                 const CampaignJob& job);
 
 /// Unrolls the sweep in fixed row-major order: tasks outermost, then
-/// geometries, pfails, mechanisms, engines, kinds, dcaches,
+/// geometries, pfails, mechanisms, engines, kinds, dcaches, tlbs, l2s,
 /// dcache_mechanisms, sample_counts innermost.
 std::vector<CampaignJob> expand_campaign(const CampaignSpec& spec);
 
 /// Index of a cell in expansion order (inverse of the job's axis indices).
+/// `tlb_i` / `l2_i` sit between dcache_i and dmech_i in expansion order
+/// but trail here so call sites predating those axes stay valid.
 std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
                                std::size_t geometry_i, std::size_t pfail_i,
                                std::size_t mechanism_i,
@@ -157,7 +210,9 @@ std::size_t campaign_job_index(const CampaignSpec& spec, std::size_t task_i,
                                std::size_t kind_i = 0,
                                std::size_t dcache_i = 0,
                                std::size_t dmech_i = 0,
-                               std::size_t samples_i = 0);
+                               std::size_t samples_i = 0,
+                               std::size_t tlb_i = 0,
+                               std::size_t l2_i = 0);
 
 /// Shared store-key prefix of a job's analyzer group: the (task, geometry,
 /// engine, dcache) values that determine which memoized sub-results

@@ -48,6 +48,28 @@ const std::vector<AxisName<DcacheMechanism>>& dcache_mechanism_names() {
   return kNames;
 }
 
+const std::vector<AxisName<WritePolicy>>& write_policy_names() {
+  static const std::vector<AxisName<WritePolicy>> kNames = {
+      {WritePolicy::kWriteThrough, "write_through",
+       "stores bypass the data cache (the default; load-only stream)"},
+      {WritePolicy::kWriteBack, "write_back",
+       "write-allocate stores; dirty evictions add a write-back penalty"},
+  };
+  return kNames;
+}
+
+const std::vector<DomainListing>& cache_domain_listings() {
+  static const std::vector<DomainListing> kListings = {
+      {"icache", "instruction cache (primary; the paper's pipeline)"},
+      {"dcache", "write-through data cache over statically known loads"},
+      {"wb-dcache",
+       "write-back data cache: stores allocate, dirty evictions priced"},
+      {"tlb", "translation lookaside buffer; page-granular unified stream"},
+      {"l2", "shared lookup-through L2 behind the L1 domains"},
+  };
+  return kListings;
+}
+
 namespace {
 
 template <typename Enum>
@@ -73,6 +95,10 @@ std::string analysis_kind_name(AnalysisKind kind) {
 
 std::string dcache_mechanism_name(DcacheMechanism m) {
   return name_of(dcache_mechanism_names(), m);
+}
+
+std::string write_policy_name(WritePolicy policy) {
+  return name_of(write_policy_names(), policy);
 }
 
 }  // namespace pwcet

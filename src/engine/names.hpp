@@ -32,6 +32,18 @@ const std::vector<AxisName<Mechanism>>& mechanism_names();
 const std::vector<AxisName<WcetEngine>>& engine_names();
 const std::vector<AxisName<AnalysisKind>>& analysis_kind_names();
 const std::vector<AxisName<DcacheMechanism>>& dcache_mechanism_names();
+const std::vector<AxisName<WritePolicy>>& write_policy_names();
+
+/// One registered CacheDomain plugin (not an enum axis — domains are
+/// selected through the dcache/tlb/l2 spec axes — but `pwcet list` prints
+/// them from the same registry spirit: one table, one source of truth).
+struct DomainListing {
+  const char* name;         ///< CacheDomain::name()
+  const char* description;  ///< one-liner for `pwcet list`
+};
+
+/// The shipped CacheDomain plugins, in pipeline composition order.
+const std::vector<DomainListing>& cache_domain_listings();
 
 /// (name, value) pairs in registry order — the shape the spec loader's
 /// enum parser consumes.

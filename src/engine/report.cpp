@@ -43,9 +43,16 @@ constexpr Column kColumns[] = {
     {"task", true},         {"sets", false},
     {"ways", false},        {"line_bytes", false},
     // Data-cache axis: 0x0x0 when the cell's data cache is off; dmech is
-    // the *resolved* data-cache mechanism ("-" when off).
+    // the *resolved* data-cache mechanism ("-" when off); dpolicy is the
+    // write policy ("-" when off).
     {"dsets", false},       {"dways", false},
-    {"dline_bytes", false}, {"pfail", false},
+    {"dline_bytes", false}, {"dpolicy", true},
+    // TLB axis (0s when off) and shared-L2 axis (0x0x0 when off). Both
+    // deploy the job's `mech`.
+    {"tlb_entries", false}, {"tlb_ways", false},
+    {"tlb_page_bytes", false},
+    {"l2sets", false},      {"l2ways", false},
+    {"l2line_bytes", false}, {"pfail", false},
     {"mech", true},         {"dmech", true},
     {"engine", true},       {"kind", true},
     // samples: the raw sample-count axis value (0 = spec-level defaults).
@@ -62,7 +69,7 @@ constexpr Column kColumns[] = {
 
 /// Job-identity columns shared by the scalar and dist reports: everything
 /// in kColumns up to (excluding) the numeric result tail.
-constexpr std::size_t kJobColumns = 14;  // task .. seed
+constexpr std::size_t kJobColumns = 21;  // task .. seed
 static_assert(std::string_view(kColumns[kJobColumns].name) == "wcet_ff",
               "kJobColumns must mark where the numeric result tail starts");
 
@@ -81,6 +88,13 @@ std::vector<std::string> job_row(const CampaignJob& job) {
           std::to_string(job.dcache.enabled ? job.dcache.geometry.ways : 0),
           std::to_string(job.dcache.enabled ? job.dcache.geometry.line_bytes
                                             : 0),
+          job.dcache.enabled ? write_policy_name(job.dcache.policy) : "-",
+          std::to_string(job.tlb.enabled ? job.tlb.entries : 0),
+          std::to_string(job.tlb.enabled ? job.tlb.ways : 0),
+          std::to_string(job.tlb.enabled ? job.tlb.page_bytes : 0),
+          std::to_string(job.l2.enabled ? job.l2.geometry.sets : 0),
+          std::to_string(job.l2.enabled ? job.l2.geometry.ways : 0),
+          std::to_string(job.l2.enabled ? job.l2.geometry.line_bytes : 0),
           fmt_exact(job.pfail),
           mechanism_name(job.mechanism),
           job.dcache.enabled ? mechanism_name(job.resolved_dmech()) : "-",

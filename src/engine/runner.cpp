@@ -15,6 +15,12 @@
 #include <tuple>
 #include <utility>
 
+#include "analysis/dcache_domain.hpp"
+#include "analysis/icache_domain.hpp"
+#include "analysis/l2_domain.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/tlb_domain.hpp"
+#include "analysis/writeback_dcache_domain.hpp"
 #include "cache/references.hpp"
 #include "core/pwcet_analyzer.hpp"
 #include "dcache/dcache_analysis.hpp"
@@ -69,6 +75,55 @@ JobResult run_combined_spta(const CampaignJob& job,
       analyzer.analyze_mixed(FaultModel(job.pfail), job.mechanism,
                              job.resolved_dmech()),
       analyzer.fault_free_wcet(), spec);
+}
+
+/// True when the cell's composition goes beyond the two legacy analyzer
+/// facades — a write-back data cache, a TLB or a shared L2 — and must run
+/// on the generic PwcetPipeline. The legacy icache-only and write-through
+/// I+D shapes keep their facades (and thus their historic store keys).
+bool needs_pipeline(const CampaignJob& job) {
+  return job.tlb.enabled || job.l2.enabled ||
+         (job.dcache.enabled &&
+          job.dcache.policy == WritePolicy::kWriteBack);
+}
+
+/// Domain list of a generic-pipeline cell, in composition order:
+/// icache, then the data cache (write-through or write-back), then the
+/// TLB, then the shared L2. The order is part of the "pwcet-ncore-v1"
+/// store-key recipe (the pipeline chains domain names), so it must never
+/// change once results are persisted.
+std::vector<std::shared_ptr<const CacheDomain>> pipeline_domains(
+    const CampaignJob& job) {
+  std::vector<std::shared_ptr<const CacheDomain>> domains;
+  domains.push_back(std::make_shared<IcacheDomain>(job.geometry));
+  if (job.dcache.enabled) {
+    if (job.dcache.policy == WritePolicy::kWriteBack)
+      domains.push_back(std::make_shared<WritebackDcacheDomain>(
+          job.dcache.geometry, job.dcache.writeback_penalty));
+    else
+      domains.push_back(std::make_shared<DcacheDomain>(job.dcache.geometry));
+  }
+  if (job.tlb.enabled)
+    domains.push_back(std::make_shared<TlbDomain>(job.tlb.geometry()));
+  if (job.l2.enabled)
+    domains.push_back(std::make_shared<L2Domain>(job.l2.geometry));
+  return domains;
+}
+
+JobResult run_pipeline_spta(const CampaignJob& job,
+                            const PwcetPipeline& pipeline,
+                            const CampaignSpec& spec) {
+  std::vector<Mechanism> mechanisms;
+  mechanisms.reserve(pipeline.domain_count());
+  mechanisms.push_back(job.mechanism);
+  if (job.dcache.enabled) mechanisms.push_back(job.resolved_dmech());
+  // The TLB and L2 domains deploy the job's instruction-cache mechanism;
+  // they have no pairing axis of their own.
+  if (job.tlb.enabled) mechanisms.push_back(job.mechanism);
+  if (job.l2.enabled) mechanisms.push_back(job.mechanism);
+  return fill_spta_result(
+      job, pipeline.analyze(FaultModel(job.pfail), mechanisms),
+      pipeline.fault_free_wcet(), spec);
 }
 
 JobResult run_mbpta_job(const CampaignJob& job, const Program& program,
@@ -395,11 +450,13 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 
   // Group jobs that can share one analyzer / one program build. std::map
   // keeps submission order deterministic.
-  std::map<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>,
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                      std::size_t, std::size_t>,
            std::vector<std::size_t>>
       groups;
   for (const CampaignJob& job : jobs)
-    groups[{job.task_i, job.geometry_i, job.engine_i, job.dcache_i}]
+    groups[{job.task_i, job.geometry_i, job.engine_i, job.dcache_i,
+            job.tlb_i, job.l2_i}]
         .push_back(job.index);
 
   // Cache-aware submission order: sort groups by their shared store-key
@@ -448,6 +505,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       // instead — the dcache geometry is part of the group key.
       std::optional<PwcetAnalyzer> analyzer;
       std::optional<CombinedPwcetAnalyzer> combined;
+      std::optional<PwcetPipeline> pipeline;
       PwcetOptions popts;
       popts.engine = first.engine;
       popts.max_distribution_points = spec.max_distribution_points;
@@ -466,7 +524,12 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         }
         switch (job.kind) {
           case AnalysisKind::kSpta:
-            if (job.dcache.enabled) {
+            if (needs_pipeline(job)) {
+              if (!pipeline)
+                pipeline.emplace(program, pipeline_domains(job), popts);
+              campaign.results[index] = run_pipeline_spta(job, *pipeline,
+                                                          spec);
+            } else if (job.dcache.enabled) {
               if (!combined)
                 combined.emplace(program, job.geometry, job.dcache.geometry,
                                  popts);

@@ -100,10 +100,12 @@ struct CampaignResult {
                       std::size_t pfail_i, std::size_t mechanism_i,
                       std::size_t engine_i = 0, std::size_t kind_i = 0,
                       std::size_t dcache_i = 0, std::size_t dmech_i = 0,
-                      std::size_t samples_i = 0) const {
+                      std::size_t samples_i = 0, std::size_t tlb_i = 0,
+                      std::size_t l2_i = 0) const {
     return results[campaign_job_index(spec, task_i, geometry_i, pfail_i,
                                       mechanism_i, engine_i, kind_i,
-                                      dcache_i, dmech_i, samples_i)];
+                                      dcache_i, dmech_i, samples_i, tlb_i,
+                                      l2_i)];
   }
 };
 

@@ -106,7 +106,8 @@ class SpecReader {
     static const std::vector<std::string> kKnownKeys = {
         "name",          "notes",
         "tasks",         "geometries",
-        "dcaches",       "pfails",
+        "dcaches",       "tlbs",
+        "l2s",           "pfails",
         "mechanisms",    "dcache_mechanisms",
         "engines",       "kinds",
         "sample_counts", "target_exceedance",
@@ -136,6 +137,10 @@ class SpecReader {
         saw_pfails = true;
       } else if (key == "dcaches") {
         spec.dcaches = read_dcaches(value);
+      } else if (key == "tlbs") {
+        spec.tlbs = read_tlbs(value);
+      } else if (key == "l2s") {
+        spec.l2s = read_l2s(value);
       } else if (key == "mechanisms") {
         // All enum axes parse against the axis-name registry
         // (engine/names.hpp), the same tables the reports and `pwcet
@@ -226,6 +231,26 @@ class SpecReader {
                    "\" does not support a data cache; \"dcaches\" entries "
                    "other than null need kinds = [\"spta\"]",
                "dcaches");
+    bool any_tlb = false;
+    for (const TlbAxis& t : spec.tlbs) any_tlb |= t.enabled;
+    if (any_tlb)
+      for (const AnalysisKind kind : spec.kinds)
+        if (kind != AnalysisKind::kSpta)
+          fail(source_, root.line,
+               "kind \"" + analysis_kind_name(kind) +
+                   "\" does not support a TLB; \"tlbs\" entries other than "
+                   "null need kinds = [\"spta\"]",
+               "tlbs");
+    bool any_l2 = false;
+    for (const L2Axis& l : spec.l2s) any_l2 |= l.enabled;
+    if (any_l2)
+      for (const AnalysisKind kind : spec.kinds)
+        if (kind != AnalysisKind::kSpta)
+          fail(source_, root.line,
+               "kind \"" + analysis_kind_name(kind) +
+                   "\" does not support a shared L2; \"l2s\" entries other "
+                   "than null need kinds = [\"spta\"]",
+               "l2s");
     if (wants(AnalysisKind::kSlack))
       for (std::size_t i = 0; i < spec.mechanisms.size(); ++i)
         if (spec.mechanisms[i] == Mechanism::kNone)
@@ -388,13 +413,35 @@ class SpecReader {
     return config;
   }
 
+  WritePolicy read_write_policy(const Json& field, const std::string& path) {
+    const std::string name = as_string(field, path);
+    const std::string folded = lowercase(name);
+    std::vector<std::string> names;
+    for (const AxisName<WritePolicy>& entry : write_policy_names()) {
+      if (folded == lowercase(entry.name)) return entry.value;
+      names.push_back(entry.name);
+    }
+    fail(source_, field.line,
+         "unknown write policy \"" + name + "\"; valid values: " +
+             joined(names),
+         path);
+  }
+
   /// The data-cache axis: each entry is `null` (data cache off, the
-  /// default analysis) or a geometry object.
+  /// default analysis) or a geometry object, optionally extended with
+  /// `"policy": "write_back"` and a `writeback_penalty` (cycles charged
+  /// per dirty eviction; the analysis folds it into the miss penalty —
+  /// see analysis/writeback_dcache_domain.hpp for why that is sound).
   std::vector<DcacheAxis> read_dcaches(const Json& value) {
     expect_type(value, Json::Type::kArray,
                 "an array of null (off) or geometry objects", "dcaches");
     if (value.array.empty())
       fail(source_, value.line, "\"dcaches\" must not be empty", "dcaches");
+    static const std::vector<std::string> kGeometryKeys = {
+        "sets", "ways", "line_bytes", "hit_latency", "miss_penalty"};
+    static const std::vector<std::string> kKeys = {
+        "sets",        "ways",   "line_bytes",        "hit_latency",
+        "miss_penalty", "policy", "writeback_penalty"};
     std::vector<DcacheAxis> out;
     out.reserve(value.array.size());
     for (std::size_t i = 0; i < value.array.size(); ++i) {
@@ -408,6 +455,141 @@ class SpecReader {
       if (entry.type != Json::Type::kObject)
         fail(source_, entry.line,
              std::string("expected null (data cache off) or a geometry "
+                         "object, got ") +
+                 entry.type_name(),
+             path);
+      axis.enabled = true;
+      // Split the entry: the policy fields are handled here, everything
+      // else flows through read_geometry so the geometry diagnostics
+      // (required keys, line_bytes alignment) stay in one place.
+      Json geometry = entry;
+      geometry.object.clear();
+      bool saw_penalty = false;
+      for (const auto& [key, field] : entry.object) {
+        const std::string field_path = path + "." + key;
+        if (key == "policy") {
+          axis.policy = read_write_policy(field, field_path);
+        } else if (key == "writeback_penalty") {
+          axis.writeback_penalty = as_cycles(field, field_path);
+          saw_penalty = true;
+        } else if (std::find(kGeometryKeys.begin(), kGeometryKeys.end(),
+                             key) != kGeometryKeys.end()) {
+          geometry.object.emplace_back(key, field);
+        } else {
+          std::string message =
+              "unknown key \"" + key + "\" in data-cache entry";
+          const std::string hint = closest_match(key, kKeys);
+          if (!hint.empty()) message += " — did you mean \"" + hint + "\"?";
+          fail(source_, field.line, message, field_path);
+        }
+      }
+      axis.geometry = read_geometry(geometry, path);
+      if (saw_penalty && axis.policy != WritePolicy::kWriteBack)
+        fail(source_, entry.line,
+             "\"writeback_penalty\" needs \"policy\": \"write_back\" (a "
+             "write-through data cache never writes lines back)",
+             path + ".writeback_penalty");
+      out.push_back(axis);
+    }
+    return out;
+  }
+
+  /// The TLB axis: each entry is `null` (TLB off) or an object with
+  /// `entries`, `ways`, `page_bytes` and an optional `miss_penalty`.
+  std::vector<TlbAxis> read_tlbs(const Json& value) {
+    expect_type(value, Json::Type::kArray,
+                "an array of null (off) or TLB objects", "tlbs");
+    if (value.array.empty())
+      fail(source_, value.line, "\"tlbs\" must not be empty", "tlbs");
+    static const std::vector<std::string> kKeys = {"entries", "ways",
+                                                   "page_bytes",
+                                                   "miss_penalty"};
+    std::vector<TlbAxis> out;
+    out.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i) {
+      const std::string path = "tlbs[" + std::to_string(i) + "]";
+      const Json& entry = value.array[i];
+      TlbAxis axis;
+      if (entry.type == Json::Type::kNull) {
+        out.push_back(axis);  // disabled
+        continue;
+      }
+      if (entry.type != Json::Type::kObject)
+        fail(source_, entry.line,
+             std::string("expected null (TLB off) or a TLB object, got ") +
+                 entry.type_name(),
+             path);
+      axis.enabled = true;
+      bool saw_entries = false, saw_ways = false, saw_page_bytes = false;
+      for (const auto& [key, field] : entry.object) {
+        const std::string field_path = path + "." + key;
+        if (key == "entries") {
+          axis.entries = as_u32(field, field_path);
+          saw_entries = true;
+        } else if (key == "ways") {
+          axis.ways = as_u32(field, field_path);
+          saw_ways = true;
+        } else if (key == "page_bytes") {
+          axis.page_bytes = as_u32(field, field_path);
+          saw_page_bytes = true;
+        } else if (key == "miss_penalty") {
+          axis.miss_penalty = as_cycles(field, field_path);
+        } else {
+          std::string message = "unknown key \"" + key + "\" in TLB entry";
+          const std::string hint = closest_match(key, kKeys);
+          if (!hint.empty()) message += " — did you mean \"" + hint + "\"?";
+          fail(source_, field.line, message, field_path);
+        }
+      }
+      if (!saw_entries)
+        fail(source_, entry.line, "TLB entry is missing \"entries\"",
+             path + ".entries");
+      if (!saw_ways)
+        fail(source_, entry.line, "TLB entry is missing \"ways\"",
+             path + ".ways");
+      if (!saw_page_bytes)
+        fail(source_, entry.line, "TLB entry is missing \"page_bytes\"",
+             path + ".page_bytes");
+      if (axis.ways == 0)
+        fail(source_, entry.line, "ways must be positive", path + ".ways");
+      if (axis.entries == 0 || axis.entries % axis.ways != 0)
+        fail(source_, entry.line,
+             "entries must be a positive multiple of ways (the TLB is "
+             "modeled as entries/ways sets of `ways` translations)",
+             path + ".entries");
+      if (axis.page_bytes == 0 ||
+          axis.page_bytes % kInstructionBytes != 0)
+        fail(source_, entry.line,
+             "page_bytes must be a positive multiple of " +
+                 std::to_string(kInstructionBytes) +
+                 " (the instruction size)",
+             path + ".page_bytes");
+      out.push_back(axis);
+    }
+    return out;
+  }
+
+  /// The shared-L2 axis: each entry is `null` (no L2) or a geometry
+  /// object (the L2 is lookup-through; hit_latency/miss_penalty price
+  /// the *incremental* L2 cost per reference).
+  std::vector<L2Axis> read_l2s(const Json& value) {
+    expect_type(value, Json::Type::kArray,
+                "an array of null (off) or geometry objects", "l2s");
+    if (value.array.empty())
+      fail(source_, value.line, "\"l2s\" must not be empty", "l2s");
+    std::vector<L2Axis> out;
+    out.reserve(value.array.size());
+    for (std::size_t i = 0; i < value.array.size(); ++i) {
+      const std::string path = "l2s[" + std::to_string(i) + "]";
+      const Json& entry = value.array[i];
+      L2Axis axis;
+      if (entry.type == Json::Type::kNull) {
+        out.push_back(axis);  // disabled
+        continue;
+      }
+      if (entry.type != Json::Type::kObject)
+        fail(source_, entry.line,
+             std::string("expected null (no shared L2) or a geometry "
                          "object, got ") +
                  entry.type_name(),
              path);
@@ -643,7 +825,26 @@ std::string spec_to_json(const CampaignSpec& spec, const std::string& name,
   geometries += "  ]";
   field("geometries", geometries);
   field("dcaches", json_array(spec.dcaches, [&](const DcacheAxis& d) {
-          return d.enabled ? geometry_json(d.geometry) : std::string("null");
+          if (!d.enabled) return std::string("null");
+          std::string entry = geometry_json(d.geometry);
+          if (d.policy == WritePolicy::kWriteBack) {
+            entry.pop_back();  // reopen the geometry object
+            entry += ", \"policy\": " + json_quote(write_policy_name(d.policy)) +
+                     ", \"writeback_penalty\": " +
+                     std::to_string(d.writeback_penalty) + "}";
+          }
+          return entry;
+        }));
+  field("tlbs", json_array(spec.tlbs, [](const TlbAxis& t) {
+          if (!t.enabled) return std::string("null");
+          return "{\"entries\": " + std::to_string(t.entries) +
+                 ", \"ways\": " + std::to_string(t.ways) +
+                 ", \"page_bytes\": " + std::to_string(t.page_bytes) +
+                 ", \"miss_penalty\": " + std::to_string(t.miss_penalty) +
+                 "}";
+        }));
+  field("l2s", json_array(spec.l2s, [&](const L2Axis& l) {
+          return l.enabled ? geometry_json(l.geometry) : std::string("null");
         }));
   field("pfails", json_array(spec.pfails, fmt_shortest_exact));
   field("mechanisms", json_array(spec.mechanisms, [](Mechanism m) {

@@ -85,4 +85,70 @@ SimStats simulate_trace(const CacheConfig& config, const FaultMap& faults,
   return sim.stats();
 }
 
+WritebackCacheSimulator::WritebackCacheSimulator(const CacheConfig& config,
+                                                 FaultMap faults,
+                                                 Mechanism mechanism)
+    : config_(config),
+      faults_(std::move(faults)),
+      mechanism_(mechanism),
+      lru_(config.sets) {
+  config_.validate();
+  PWCET_EXPECTS(faults_.sets() == config.sets &&
+                faults_.ways() == config.ways);
+}
+
+std::uint32_t WritebackCacheSimulator::usable_ways(SetIndex s) const {
+  std::uint32_t usable = 0;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const bool masked_by_rw =
+        mechanism_ == Mechanism::kReliableWay && w == 0;
+    if (masked_by_rw || !faults_.is_faulty(s, w)) ++usable;
+  }
+  return usable;
+}
+
+bool WritebackCacheSimulator::access(Address address, bool is_store) {
+  const LineAddress line = config_.line_of(address);
+  const SetIndex s = config_.set_of_line(line);
+  const std::uint32_t usable = usable_ways(s);
+
+  bool hit = false;
+  if (usable > 0) {
+    auto& stack = lru_[s];
+    const auto it = std::find_if(
+        stack.begin(), stack.end(),
+        [line](const Way& w) { return w.line == line; });
+    if (it != stack.end()) {
+      Way way = *it;
+      way.dirty = way.dirty || is_store;
+      stack.erase(it);
+      stack.insert(stack.begin(), way);
+      hit = true;
+    } else {
+      // Write-allocate: stores insert their line dirty.
+      stack.insert(stack.begin(), {line, is_store});
+      if (stack.size() > usable) {
+        if (stack.back().dirty) ++stats_.writebacks;
+        stack.pop_back();
+      }
+    }
+  } else if (mechanism_ == Mechanism::kSharedReliableBuffer) {
+    hit = srb_valid_ && srb_line_ == line;
+    if (hit) {
+      srb_dirty_ = srb_dirty_ || is_store;
+    } else {
+      if (srb_valid_ && srb_dirty_) ++stats_.writebacks;
+      srb_valid_ = true;
+      srb_line_ = line;
+      srb_dirty_ = is_store;
+    }
+  }
+  // kNone with a fully faulty set caches nothing: unconditional miss, and
+  // no line ever becomes dirty there, so no write-backs either.
+
+  ++stats_.accesses;
+  if (!hit) ++stats_.misses;
+  return hit;
+}
+
 }  // namespace pwcet

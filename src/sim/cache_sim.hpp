@@ -68,4 +68,47 @@ SimStats simulate_trace(const CacheConfig& config, const FaultMap& faults,
                         Mechanism mechanism,
                         const std::vector<Address>& trace);
 
+/// Statistics of one write-back simulation. `writebacks` counts dirty
+/// evictions (normal sets and the SRB alike); residual dirty lines at the
+/// end of the run are not flushed and not counted.
+struct WritebackSimStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+};
+
+/// Write-back, write-allocate variant of CacheSimulator — the exhaustive
+/// oracle for WritebackDcacheDomain. Replacement (LRU over the usable
+/// ways, SRB for fully faulty sets) is identical to CacheSimulator; the
+/// additions are the per-line dirty bit set by store hits and allocating
+/// stores, and the write-back count bumped whenever a dirty victim is
+/// evicted (including a dirty SRB line displaced by an SRB refill).
+class WritebackCacheSimulator {
+ public:
+  WritebackCacheSimulator(const CacheConfig& config, FaultMap faults,
+                          Mechanism mechanism);
+
+  /// Simulates one data access; returns true on hit (cache or SRB).
+  bool access(Address address, bool is_store);
+
+  const WritebackSimStats& stats() const { return stats_; }
+
+ private:
+  std::uint32_t usable_ways(SetIndex s) const;
+
+  CacheConfig config_;
+  FaultMap faults_;
+  Mechanism mechanism_;
+  struct Way {
+    LineAddress line = 0;
+    bool dirty = false;
+  };
+  // Per set: MRU-first stack of resident lines (size <= usable ways).
+  std::vector<std::vector<Way>> lru_;
+  bool srb_valid_ = false;
+  bool srb_dirty_ = false;
+  LineAddress srb_line_ = 0;
+  WritebackSimStats stats_;
+};
+
 }  // namespace pwcet

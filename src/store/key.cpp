@@ -107,6 +107,14 @@ StoreKey hash_program(const Program& program) {
     h.mix_u64(block.instruction_count);
     h.mix_u64(block.data_addresses.size());
     for (const Address a : block.data_addresses) h.mix_u64(a);
+    // Store addresses are mixed only when present, behind a marker word:
+    // programs without stores keep their pre-store hash bit-for-bit, so
+    // every artifact persisted before the write-back extension stays warm.
+    if (!block.store_addresses.empty()) {
+      h.mix_u64(0x5701e5u);  // store-list marker
+      h.mix_u64(block.store_addresses.size());
+      for (const Address a : block.store_addresses) h.mix_u64(a);
+    }
     // Adjacency is recoverable from the edge list; hashing it here too
     // would only re-encode the same structure.
   }

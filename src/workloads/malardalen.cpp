@@ -496,6 +496,34 @@ Program build_dispatch() {
   return b.build(0);
 }
 
+/// Ring-buffer producer/consumer: the only extension kernel whose blocks
+/// record *store* addresses, exercising the write-back data-cache and
+/// TLB/L2 unified-stream paths (stores dirty lines; loads and stores both
+/// take translations).
+Program build_ringbuf() {
+  ProgramBuilder b("ringbuf");
+  std::vector<Address> slot_loads, slot_stores;
+  for (Address i = 0; i < 8; ++i) {
+    slot_loads.push_back(0x8000 + 16 * i);
+    slot_stores.push_back(0x8100 + 16 * i);
+  }
+  const StmtId produce = b.code_with_accesses(
+      14, {0x8200, 0x8204}, slot_stores);          // head index + slot write
+  const StmtId consume = b.code_with_accesses(
+      18, slot_loads, {0x8208, 0x820c});           // slot read + tail index
+  b.add_function("main",
+                 b.seq({
+                     b.code_with_accesses(24, {0x8200}, {0x8200, 0x8204}),
+                     b.loop(1, 32, b.seq({produce,
+                                          b.if_else(2, consume,
+                                                    b.code_with_loads(
+                                                        8, {0x8210})),
+                                          b.code(4)})),
+                     b.code_with_accesses(6, {0x8208}, {0x8210}),
+                 }));
+  return b.build(0);
+}
+
 struct Entry {
   const char* name;
   Program (*builder)();
@@ -539,6 +567,7 @@ constexpr Entry kRegistry[] = {
 constexpr Entry kExtensionRegistry[] = {
     {"interp", &build_interp},
     {"dispatch", &build_dispatch},
+    {"ringbuf", &build_ringbuf},
 };
 
 }  // namespace

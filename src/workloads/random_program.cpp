@@ -48,12 +48,22 @@ class Generator {
     const std::uint32_t instrs =
         kInstrPerLine * (1 + static_cast<std::uint32_t>(
                                  rng_.next_below(params_.max_code_lines)));
-    if (params_.max_data_loads == 0) return b.code(instrs);
+    if (params_.max_data_loads == 0 && params_.max_data_stores == 0)
+      return b.code(instrs);
     std::vector<Address> loads;
-    const std::uint64_t n = rng_.next_below(params_.max_data_loads + 1);
+    if (params_.max_data_loads != 0) {
+      const std::uint64_t n = rng_.next_below(params_.max_data_loads + 1);
+      for (std::uint64_t i = 0; i < n; ++i)
+        loads.push_back(0x8000 +
+                        4 * rng_.next_below(params_.data_pool_words));
+    }
+    if (params_.max_data_stores == 0)
+      return b.code_with_loads(instrs, std::move(loads));
+    std::vector<Address> stores;
+    const std::uint64_t n = rng_.next_below(params_.max_data_stores + 1);
     for (std::uint64_t i = 0; i < n; ++i)
-      loads.push_back(0x8000 + 4 * rng_.next_below(params_.data_pool_words));
-    return b.code_with_loads(instrs, std::move(loads));
+      stores.push_back(0x8000 + 4 * rng_.next_below(params_.data_pool_words));
+    return b.code_with_accesses(instrs, std::move(loads), std::move(stores));
   }
 
   StmtId stmt(ProgramBuilder& b, std::uint32_t depth) {

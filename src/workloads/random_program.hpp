@@ -33,6 +33,11 @@ struct RandomProgramParams {
   /// Size of the data address pool, in 4-byte words; small pools force
   /// line sharing and set conflicts in tiny data caches.
   std::uint32_t data_pool_words = 64;
+  /// Data stores per straight-line chunk (0 = none, the default — RNG
+  /// streams are then identical to load-only generation). Stores draw from
+  /// the same pool as loads so load/store pairs share lines, exercising
+  /// the write-back domain's dirty-eviction accounting.
+  std::uint32_t max_data_stores = 0;
 };
 
 /// Generates a random task. Deterministic in (rng state, params).

@@ -13,10 +13,19 @@
 // for the combined I+D path.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "analysis/dcache_domain.hpp"
+#include "analysis/icache_domain.hpp"
+#include "analysis/l2_domain.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/tlb_domain.hpp"
+#include "analysis/writeback_dcache_domain.hpp"
 #include "cache/references.hpp"
 #include "core/pwcet_analyzer.hpp"
 #include "dcache/dcache_analysis.hpp"
@@ -243,10 +252,9 @@ workloads::RandomProgramParams oracle_params(bool with_data_loads) {
 /// are both replaced by the next attempt (deterministically), keeping the
 /// sweep cheap while guaranteeing every checked program has real branch /
 /// loop structure.
-Program oracle_program(std::uint64_t seed, bool with_data_loads,
+Program oracle_program(std::uint64_t seed,
+                       const workloads::RandomProgramParams& params,
                        std::vector<std::vector<BlockId>>& paths) {
-  const workloads::RandomProgramParams params =
-      oracle_params(with_data_loads);
   for (std::uint64_t attempt = 0;; ++attempt) {
     Rng rng(Rng::derive_seed(seed, attempt));
     Program p = workloads::random_program(rng, params);
@@ -255,6 +263,50 @@ Program oracle_program(std::uint64_t seed, bool with_data_loads,
         heavy_walk_fetch_count(p) >= 50)
       return p;
   }
+}
+
+Program oracle_program(std::uint64_t seed, bool with_data_loads,
+                       std::vector<std::vector<BlockId>>& paths) {
+  return oracle_program(seed, oracle_params(with_data_loads), paths);
+}
+
+/// Generation parameters for the store-bearing sweeps (write-back d-cache,
+/// TLB, shared L2): loads *and* stores, drawn from tiny pools so streams
+/// collide in the tiny secondary caches.
+workloads::RandomProgramParams oracle_params_with_stores() {
+  workloads::RandomProgramParams params = oracle_params(true);
+  params.max_data_stores = 2;
+  return params;
+}
+
+/// The unified per-path access stream — per block: instruction fetches,
+/// then loads, then stores — mirroring extract_unified_references' order
+/// (the TLB / shared-L2 reference stream, before line merging).
+std::vector<Address> unified_trace(const ControlFlowGraph& cfg,
+                                   const std::vector<BlockId>& path) {
+  std::vector<Address> out;
+  for (const BlockId blk : path) {
+    const BasicBlock& b = cfg.block(blk);
+    for (std::uint32_t i = 0; i < b.instruction_count; ++i)
+      out.push_back(b.first_address + i * kInstructionBytes);
+    out.insert(out.end(), b.data_addresses.begin(), b.data_addresses.end());
+    out.insert(out.end(), b.store_addresses.begin(),
+               b.store_addresses.end());
+  }
+  return out;
+}
+
+/// Per-path data accesses as (address, is_store), loads before stores per
+/// block — extract_data_access_references' order.
+std::vector<std::pair<Address, bool>> data_access_trace(
+    const ControlFlowGraph& cfg, const std::vector<BlockId>& path) {
+  std::vector<std::pair<Address, bool>> out;
+  for (const BlockId blk : path) {
+    const BasicBlock& b = cfg.block(blk);
+    for (const Address a : b.data_addresses) out.emplace_back(a, false);
+    for (const Address a : b.store_addresses) out.emplace_back(a, true);
+  }
+  return out;
 }
 
 /// P[map] under independent per-block failures with probability pbf. For
@@ -437,7 +489,414 @@ TEST_P(RandomOracleTest, DcachePwcetDominatesExhaustiveDistribution) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// The three production CacheDomain plugins against the same oracle wall:
+// write-back data cache (dirty-eviction write-backs), TLB (page-granular
+// unified stream) and shared L2 (lookup-through unified stream), each
+// composed with the instruction cache through the generic PwcetPipeline.
+// ---------------------------------------------------------------------------
+
+/// The (imech, secondary mech) deployments each secondary-domain sweep
+/// checks; on the 2x1 secondary geometries RW degenerates to "never
+/// fails", which exercises the zero-probability skip path.
+constexpr std::pair<Mechanism, Mechanism> kSecondaryDeployments[] = {
+    {Mechanism::kNone, Mechanism::kNone},
+    {Mechanism::kSharedReliableBuffer, Mechanism::kSharedReliableBuffer},
+    {Mechanism::kReliableWay, Mechanism::kSharedReliableBuffer},
+    {Mechanism::kReliableWay, Mechanism::kReliableWay},
+};
+
+TEST_P(RandomOracleTest, WritebackDcachePwcetDominatesExhaustive) {
+  std::vector<std::vector<BlockId>> paths;
+  const Program p =
+      oracle_program(0x3b5d0000 + static_cast<std::uint64_t>(GetParam()),
+                     oracle_params_with_stores(), paths);
+  const CacheConfig ic = tiny_cache();
+  CacheConfig dc;
+  dc.sets = 2;
+  dc.ways = 1;
+  dc.line_bytes = 8;
+  dc.miss_penalty = 50;  // refill only; the write-back cost rides on top
+  const Cycles wb_penalty = 20;
+
+  PwcetOptions options;
+  options.engine = WcetEngine::kTree;
+  options.max_distribution_points = 64;
+  const PwcetPipeline pipeline(
+      p,
+      {std::make_shared<IcacheDomain>(ic),
+       std::make_shared<WritebackDcacheDomain>(dc, wb_penalty)},
+      options);
+
+  std::vector<std::vector<Address>> itraces;
+  std::vector<std::vector<std::pair<Address, bool>>> dtraces;
+  for (const auto& path : paths) {
+    itraces.push_back(fetch_trace(p.cfg(), path));
+    dtraces.push_back(data_access_trace(p.cfg(), path));
+  }
+
+  const std::vector<FaultMap> imaps = all_fault_maps(ic);
+  const std::vector<FaultMap> dmaps = all_fault_maps(dc);
+  const double pfail = 0.05;
+  const FaultModel faults(pfail);
+  const double ipbf = faults.block_failure_probability(ic);
+  const double dpbf = faults.block_failure_probability(dc);
+
+  for (const auto& [imech, dmech] : kSecondaryDeployments) {
+    std::vector<std::vector<double>> icycles(
+        paths.size(), std::vector<double>(imaps.size(), 0.0));
+    std::vector<std::vector<double>> dpenalty(
+        paths.size(), std::vector<double>(dmaps.size(), 0.0));
+    for (std::size_t t = 0; t < paths.size(); ++t) {
+      for (std::size_t m = 0; m < imaps.size(); ++m) {
+        if (imech == Mechanism::kReliableWay &&
+            touches_hardened_way(imaps[m], ic))
+          continue;
+        icycles[t][m] = static_cast<double>(
+            simulate_trace(ic, imaps[m], imech, itraces[t]).cycles);
+      }
+      for (std::size_t m = 0; m < dmaps.size(); ++m) {
+        if (dmech == Mechanism::kReliableWay &&
+            touches_hardened_way(dmaps[m], dc))
+          continue;
+        // TRUE write-back cost: misses pay the refill, dirty evictions
+        // additionally pay the write-back — strictly below the model's
+        // effective (refill + wb) per miss whenever a victim is clean.
+        WritebackCacheSimulator sim(dc, dmaps[m], dmech);
+        for (const auto& [a, is_store] : dtraces[t]) sim.access(a, is_store);
+        dpenalty[t][m] =
+            static_cast<double>(sim.stats().misses) *
+                static_cast<double>(dc.miss_penalty) +
+            static_cast<double>(sim.stats().writebacks) *
+                static_cast<double>(wb_penalty);
+      }
+    }
+
+    std::vector<ProbabilityAtom> atoms;
+    for (std::size_t im = 0; im < imaps.size(); ++im) {
+      if (imech == Mechanism::kReliableWay &&
+          touches_hardened_way(imaps[im], ic))
+        continue;
+      for (std::size_t dm = 0; dm < dmaps.size(); ++dm) {
+        if (dmech == Mechanism::kReliableWay &&
+            touches_hardened_way(dmaps[dm], dc))
+          continue;
+        double worst = 0.0;
+        for (std::size_t t = 0; t < paths.size(); ++t)
+          worst = std::max(worst, icycles[t][im] + dpenalty[t][dm]);
+        atoms.push_back({static_cast<Cycles>(worst),
+                         map_probability(imaps[im], ic, imech, ipbf) *
+                             map_probability(dmaps[dm], dc, dmech, dpbf)});
+      }
+    }
+    const DiscreteDistribution exact =
+        DiscreteDistribution::from_atoms(atoms);
+
+    const PwcetResult result = pipeline.analyze(faults, {imech, dmech});
+    const DiscreteDistribution analytic =
+        result.penalty.shift(result.fault_free_wcet);
+    EXPECT_TRUE(analytic.dominates(exact, 1e-9))
+        << "imech=" << mechanism_name(imech)
+        << " dmech=" << mechanism_name(dmech) << " paths=" << paths.size();
+  }
+}
+
+TEST_P(RandomOracleTest, TlbPwcetDominatesExhaustive) {
+  std::vector<std::vector<BlockId>> paths;
+  const Program p =
+      oracle_program(0x71b00000 + static_cast<std::uint64_t>(GetParam()),
+                     oracle_params_with_stores(), paths);
+  const CacheConfig ic = tiny_cache();
+  CacheConfig tlb;  // 2 entries of 1 way, 8-byte pages, hits folded away
+  tlb.sets = 2;
+  tlb.ways = 1;
+  tlb.line_bytes = 8;
+  tlb.hit_latency = 0;
+  tlb.miss_penalty = 25;
+
+  PwcetOptions options;
+  options.engine = WcetEngine::kTree;
+  options.max_distribution_points = 64;
+  const PwcetPipeline pipeline(p,
+                               {std::make_shared<IcacheDomain>(ic),
+                                std::make_shared<TlbDomain>(tlb)},
+                               options);
+
+  std::vector<std::vector<Address>> itraces;
+  std::vector<std::vector<Address>> utraces;
+  for (const auto& path : paths) {
+    itraces.push_back(fetch_trace(p.cfg(), path));
+    utraces.push_back(unified_trace(p.cfg(), path));
+  }
+
+  const std::vector<FaultMap> imaps = all_fault_maps(ic);
+  const std::vector<FaultMap> tmaps = all_fault_maps(tlb);
+  const double pfail = 0.05;
+  const FaultModel faults(pfail);
+  const double ipbf = faults.block_failure_probability(ic);
+  const double tpbf = faults.block_failure_probability(tlb);
+
+  for (const auto& [imech, tmech] : kSecondaryDeployments) {
+    std::vector<std::vector<double>> icycles(
+        paths.size(), std::vector<double>(imaps.size(), 0.0));
+    std::vector<std::vector<double>> tpenalty(
+        paths.size(), std::vector<double>(tmaps.size(), 0.0));
+    for (std::size_t t = 0; t < paths.size(); ++t) {
+      for (std::size_t m = 0; m < imaps.size(); ++m) {
+        if (imech == Mechanism::kReliableWay &&
+            touches_hardened_way(imaps[m], ic))
+          continue;
+        icycles[t][m] = static_cast<double>(
+            simulate_trace(ic, imaps[m], imech, itraces[t]).cycles);
+      }
+      for (std::size_t m = 0; m < tmaps.size(); ++m) {
+        if (tmech == Mechanism::kReliableWay &&
+            touches_hardened_way(tmaps[m], tlb))
+          continue;
+        // TRUE TLB cost: a page walk per translation miss over the
+        // unified fetch/load/store stream; hits are free (folded into
+        // the fetch latencies the icache domain already charges).
+        CacheSimulator sim(tlb, tmaps[m], tmech);
+        for (const Address a : utraces[t]) sim.fetch(a);
+        tpenalty[t][m] = static_cast<double>(sim.stats().misses) *
+                         static_cast<double>(tlb.miss_penalty);
+      }
+    }
+
+    std::vector<ProbabilityAtom> atoms;
+    for (std::size_t im = 0; im < imaps.size(); ++im) {
+      if (imech == Mechanism::kReliableWay &&
+          touches_hardened_way(imaps[im], ic))
+        continue;
+      for (std::size_t tm = 0; tm < tmaps.size(); ++tm) {
+        if (tmech == Mechanism::kReliableWay &&
+            touches_hardened_way(tmaps[tm], tlb))
+          continue;
+        double worst = 0.0;
+        for (std::size_t t = 0; t < paths.size(); ++t)
+          worst = std::max(worst, icycles[t][im] + tpenalty[t][tm]);
+        atoms.push_back({static_cast<Cycles>(worst),
+                         map_probability(imaps[im], ic, imech, ipbf) *
+                             map_probability(tmaps[tm], tlb, tmech, tpbf)});
+      }
+    }
+    const DiscreteDistribution exact =
+        DiscreteDistribution::from_atoms(atoms);
+
+    const PwcetResult result = pipeline.analyze(faults, {imech, tmech});
+    const DiscreteDistribution analytic =
+        result.penalty.shift(result.fault_free_wcet);
+    EXPECT_TRUE(analytic.dominates(exact, 1e-9))
+        << "imech=" << mechanism_name(imech)
+        << " tmech=" << mechanism_name(tmech) << " paths=" << paths.size();
+  }
+}
+
+TEST_P(RandomOracleTest, SharedL2PwcetDominatesExhaustive) {
+  std::vector<std::vector<BlockId>> paths;
+  const Program p =
+      oracle_program(0x12000000 + static_cast<std::uint64_t>(GetParam()),
+                     oracle_params_with_stores(), paths);
+  const CacheConfig ic = tiny_cache();
+  CacheConfig l2;  // lookup-through: every reference probes it
+  l2.sets = 2;
+  l2.ways = 1;
+  l2.line_bytes = 8;
+  l2.hit_latency = 0;  // L2 hit latency rides in the L1 costs
+  l2.miss_penalty = 40;
+
+  PwcetOptions options;
+  options.engine = WcetEngine::kTree;
+  options.max_distribution_points = 64;
+  const PwcetPipeline pipeline(p,
+                               {std::make_shared<IcacheDomain>(ic),
+                                std::make_shared<L2Domain>(l2)},
+                               options);
+
+  std::vector<std::vector<Address>> itraces;
+  std::vector<std::vector<Address>> utraces;
+  for (const auto& path : paths) {
+    itraces.push_back(fetch_trace(p.cfg(), path));
+    utraces.push_back(unified_trace(p.cfg(), path));
+  }
+
+  const std::vector<FaultMap> imaps = all_fault_maps(ic);
+  const std::vector<FaultMap> lmaps = all_fault_maps(l2);
+  const double pfail = 0.05;
+  const FaultModel faults(pfail);
+  const double ipbf = faults.block_failure_probability(ic);
+  const double lpbf = faults.block_failure_probability(l2);
+
+  for (const auto& [imech, lmech] : kSecondaryDeployments) {
+    std::vector<std::vector<double>> icycles(
+        paths.size(), std::vector<double>(imaps.size(), 0.0));
+    std::vector<std::vector<double>> lpenalty(
+        paths.size(), std::vector<double>(lmaps.size(), 0.0));
+    for (std::size_t t = 0; t < paths.size(); ++t) {
+      for (std::size_t m = 0; m < imaps.size(); ++m) {
+        if (imech == Mechanism::kReliableWay &&
+            touches_hardened_way(imaps[m], ic))
+          continue;
+        icycles[t][m] = static_cast<double>(
+            simulate_trace(ic, imaps[m], imech, itraces[t]).cycles);
+      }
+      for (std::size_t m = 0; m < lmaps.size(); ++m) {
+        if (lmech == Mechanism::kReliableWay &&
+            touches_hardened_way(lmaps[m], l2))
+          continue;
+        CacheSimulator sim(l2, lmaps[m], lmech);
+        for (const Address a : utraces[t]) sim.fetch(a);
+        lpenalty[t][m] = static_cast<double>(sim.stats().misses) *
+                         static_cast<double>(l2.miss_penalty);
+      }
+    }
+
+    std::vector<ProbabilityAtom> atoms;
+    for (std::size_t im = 0; im < imaps.size(); ++im) {
+      if (imech == Mechanism::kReliableWay &&
+          touches_hardened_way(imaps[im], ic))
+        continue;
+      for (std::size_t lm = 0; lm < lmaps.size(); ++lm) {
+        if (lmech == Mechanism::kReliableWay &&
+            touches_hardened_way(lmaps[lm], l2))
+          continue;
+        double worst = 0.0;
+        for (std::size_t t = 0; t < paths.size(); ++t)
+          worst = std::max(worst, icycles[t][im] + lpenalty[t][lm]);
+        atoms.push_back({static_cast<Cycles>(worst),
+                         map_probability(imaps[im], ic, imech, ipbf) *
+                             map_probability(lmaps[lm], l2, lmech, lpbf)});
+      }
+    }
+    const DiscreteDistribution exact =
+        DiscreteDistribution::from_atoms(atoms);
+
+    const PwcetResult result = pipeline.analyze(faults, {imech, lmech});
+    const DiscreteDistribution analytic =
+        result.penalty.shift(result.fault_free_wcet);
+    EXPECT_TRUE(analytic.dominates(exact, 1e-9))
+        << "imech=" << mechanism_name(imech)
+        << " lmech=" << mechanism_name(lmech) << " paths=" << paths.size();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomOracleTest, ::testing::Range(0, 12));
+
+// Three-domain composition: icache x write-back dcache x shared L2, the
+// full fixed-shape cross-domain convolution against a 3-way exhaustive
+// fault product. Fewer seeds — each checks 16 x 4 x 4 = 256 fault
+// combinations maximized over every path.
+class ComposedOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComposedOracleTest, TriplePwcetDominatesExhaustive) {
+  std::vector<std::vector<BlockId>> paths;
+  const Program p =
+      oracle_program(0xc0de0000 + static_cast<std::uint64_t>(GetParam()),
+                     oracle_params_with_stores(), paths);
+  const CacheConfig ic = tiny_cache();
+  CacheConfig dc;
+  dc.sets = 2;
+  dc.ways = 1;
+  dc.line_bytes = 8;
+  dc.miss_penalty = 50;
+  const Cycles wb_penalty = 20;
+  CacheConfig l2;
+  l2.sets = 2;
+  l2.ways = 1;
+  l2.line_bytes = 8;
+  l2.hit_latency = 0;
+  l2.miss_penalty = 40;
+
+  PwcetOptions options;
+  options.engine = WcetEngine::kTree;
+  options.max_distribution_points = 64;
+  const PwcetPipeline pipeline(
+      p,
+      {std::make_shared<IcacheDomain>(ic),
+       std::make_shared<WritebackDcacheDomain>(dc, wb_penalty),
+       std::make_shared<L2Domain>(l2)},
+      options);
+
+  std::vector<std::vector<Address>> itraces;
+  std::vector<std::vector<std::pair<Address, bool>>> dtraces;
+  std::vector<std::vector<Address>> utraces;
+  for (const auto& path : paths) {
+    itraces.push_back(fetch_trace(p.cfg(), path));
+    dtraces.push_back(data_access_trace(p.cfg(), path));
+    utraces.push_back(unified_trace(p.cfg(), path));
+  }
+
+  const std::vector<FaultMap> imaps = all_fault_maps(ic);
+  const std::vector<FaultMap> dmaps = all_fault_maps(dc);
+  const std::vector<FaultMap> lmaps = all_fault_maps(l2);
+  const double pfail = 0.05;
+  const FaultModel faults(pfail);
+  const double ipbf = faults.block_failure_probability(ic);
+  const double dpbf = faults.block_failure_probability(dc);
+  const double lpbf = faults.block_failure_probability(l2);
+
+  const std::array<Mechanism, 3> deployments[] = {
+      {Mechanism::kNone, Mechanism::kNone, Mechanism::kNone},
+      {Mechanism::kSharedReliableBuffer, Mechanism::kSharedReliableBuffer,
+       Mechanism::kSharedReliableBuffer},
+  };
+  for (const auto& [imech, dmech, lmech] : deployments) {
+    std::vector<std::vector<double>> icycles(
+        paths.size(), std::vector<double>(imaps.size(), 0.0));
+    std::vector<std::vector<double>> dpenalty(
+        paths.size(), std::vector<double>(dmaps.size(), 0.0));
+    std::vector<std::vector<double>> lpenalty(
+        paths.size(), std::vector<double>(lmaps.size(), 0.0));
+    for (std::size_t t = 0; t < paths.size(); ++t) {
+      for (std::size_t m = 0; m < imaps.size(); ++m)
+        icycles[t][m] = static_cast<double>(
+            simulate_trace(ic, imaps[m], imech, itraces[t]).cycles);
+      for (std::size_t m = 0; m < dmaps.size(); ++m) {
+        WritebackCacheSimulator sim(dc, dmaps[m], dmech);
+        for (const auto& [a, is_store] : dtraces[t]) sim.access(a, is_store);
+        dpenalty[t][m] =
+            static_cast<double>(sim.stats().misses) *
+                static_cast<double>(dc.miss_penalty) +
+            static_cast<double>(sim.stats().writebacks) *
+                static_cast<double>(wb_penalty);
+      }
+      for (std::size_t m = 0; m < lmaps.size(); ++m) {
+        CacheSimulator sim(l2, lmaps[m], lmech);
+        for (const Address a : utraces[t]) sim.fetch(a);
+        lpenalty[t][m] = static_cast<double>(sim.stats().misses) *
+                         static_cast<double>(l2.miss_penalty);
+      }
+    }
+
+    std::vector<ProbabilityAtom> atoms;
+    for (std::size_t im = 0; im < imaps.size(); ++im)
+      for (std::size_t dm = 0; dm < dmaps.size(); ++dm)
+        for (std::size_t lm = 0; lm < lmaps.size(); ++lm) {
+          double worst = 0.0;
+          for (std::size_t t = 0; t < paths.size(); ++t)
+            worst = std::max(
+                worst, icycles[t][im] + dpenalty[t][dm] + lpenalty[t][lm]);
+          atoms.push_back(
+              {static_cast<Cycles>(worst),
+               map_probability(imaps[im], ic, imech, ipbf) *
+                   map_probability(dmaps[dm], dc, dmech, dpbf) *
+                   map_probability(lmaps[lm], l2, lmech, lpbf)});
+        }
+    const DiscreteDistribution exact =
+        DiscreteDistribution::from_atoms(atoms);
+
+    const PwcetResult result =
+        pipeline.analyze(faults, {imech, dmech, lmech});
+    const DiscreteDistribution analytic =
+        result.penalty.shift(result.fault_free_wcet);
+    EXPECT_TRUE(analytic.dominates(exact, 1e-9))
+        << "imech=" << mechanism_name(imech)
+        << " dmech=" << mechanism_name(dmech)
+        << " lmech=" << mechanism_name(lmech) << " paths=" << paths.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComposedOracleTest, ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace pwcet

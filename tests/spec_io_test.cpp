@@ -163,6 +163,87 @@ TEST(SpecIo, DcacheAxisRoundTripsThroughTheSerializer) {
   EXPECT_EQ(spec_to_json(doc.spec), json);
 }
 
+TEST(SpecIo, WritebackDcacheAxisRoundTripsThroughTheSerializer) {
+  CampaignSpec spec;
+  spec.tasks = {"ringbuf"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone};
+  DcacheAxis wb;
+  wb.enabled = true;
+  wb.geometry.sets = 8;
+  wb.policy = WritePolicy::kWriteBack;
+  wb.writeback_penalty = 40;
+  spec.dcaches = {DcacheAxis{}, wb};
+
+  const std::string json = spec_to_json(spec);
+  EXPECT_NE(json.find("\"policy\": \"write_back\""), std::string::npos);
+  EXPECT_NE(json.find("\"writeback_penalty\": 40"), std::string::npos);
+  const SpecDocument doc = parse_spec(json, "<wb-round-trip>");
+  ASSERT_EQ(doc.spec.dcaches.size(), 2u);
+  EXPECT_EQ(doc.spec.dcaches[0].policy, WritePolicy::kWriteThrough);
+  EXPECT_EQ(doc.spec.dcaches[1].policy, WritePolicy::kWriteBack);
+  EXPECT_EQ(doc.spec.dcaches[1].writeback_penalty, 40);
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+  EXPECT_EQ(spec_to_json(doc.spec), json);
+  // The write-back axis must change the spec key: same geometry under
+  // write-through is a different campaign.
+  CampaignSpec through = spec;
+  through.dcaches[1].policy = WritePolicy::kWriteThrough;
+  through.dcaches[1].writeback_penalty = 0;
+  EXPECT_NE(campaign_spec_key(through), campaign_spec_key(spec));
+}
+
+TEST(SpecIo, TlbAndL2AxesRoundTripThroughTheSerializer) {
+  CampaignSpec spec;
+  spec.tasks = {"fibcall", "ringbuf"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer};
+  TlbAxis tlb;
+  tlb.enabled = true;
+  tlb.entries = 16;
+  tlb.ways = 2;
+  tlb.page_bytes = 128;
+  tlb.miss_penalty = 45;
+  spec.tlbs = {TlbAxis{}, tlb};
+  L2Axis l2;
+  l2.enabled = true;
+  l2.geometry.sets = 64;
+  l2.geometry.line_bytes = 32;
+  l2.geometry.hit_latency = 0;
+  l2.geometry.miss_penalty = 80;
+  spec.l2s = {L2Axis{}, l2};
+
+  const std::string json = spec_to_json(spec);
+  const SpecDocument doc = parse_spec(json, "<tlb-l2-round-trip>");
+  ASSERT_EQ(doc.spec.tlbs.size(), 2u);
+  EXPECT_FALSE(doc.spec.tlbs[0].enabled);
+  ASSERT_TRUE(doc.spec.tlbs[1].enabled);
+  EXPECT_EQ(doc.spec.tlbs[1].entries, 16u);
+  EXPECT_EQ(doc.spec.tlbs[1].ways, 2u);
+  EXPECT_EQ(doc.spec.tlbs[1].page_bytes, 128u);
+  EXPECT_EQ(doc.spec.tlbs[1].miss_penalty, 45);
+  ASSERT_EQ(doc.spec.l2s.size(), 2u);
+  ASSERT_TRUE(doc.spec.l2s[1].enabled);
+  EXPECT_EQ(doc.spec.l2s[1].geometry.sets, 64u);
+  EXPECT_EQ(doc.spec.l2s[1].geometry.miss_penalty, 80);
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+  EXPECT_EQ(spec_to_json(doc.spec), json);
+
+  // Enabling either axis must change the spec key; collapsing both back
+  // to the default single-disabled entry restores the pre-axis key (the
+  // shipped-spec pin tests above lock that key's value).
+  CampaignSpec plain = spec;
+  plain.tlbs = {TlbAxis{}};
+  plain.l2s = {L2Axis{}};
+  EXPECT_NE(campaign_spec_key(plain), campaign_spec_key(spec));
+  CampaignSpec tlb_only = plain;
+  tlb_only.tlbs = spec.tlbs;
+  EXPECT_NE(campaign_spec_key(tlb_only), campaign_spec_key(plain));
+  EXPECT_NE(campaign_spec_key(tlb_only), campaign_spec_key(spec));
+}
+
 TEST(SpecIo, SeedsAboveDoublePrecisionSurviveAsStrings) {
   const CampaignSpec spec = parse_ok(R"({
     "tasks": ["fibcall"],
@@ -317,11 +398,74 @@ TEST(ShippedSpecs, SrbConservatismMatchesProgrammaticCampaign) {
   EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
 }
 
+TEST(ShippedSpecs, TlbSweepMatchesProgrammaticCampaign) {
+  CampaignSpec spec;
+  spec.tasks = {"fibcall", "interp", "ringbuf"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  TlbAxis small;
+  small.enabled = true;
+  small.entries = 16;
+  small.ways = 2;
+  small.page_bytes = 64;
+  TlbAxis large;
+  large.enabled = true;
+  large.entries = 32;
+  large.ways = 4;
+  large.page_bytes = 128;
+  spec.tlbs = {TlbAxis{}, small, large};
+
+  const SpecDocument doc = load_spec(shipped("tlb_sweep.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, WritebackDcacheMatchesProgrammaticCampaign) {
+  CampaignSpec spec;
+  spec.tasks = {"interp", "dispatch", "ringbuf"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  DcacheAxis through;
+  through.enabled = true;
+  through.geometry.sets = 8;
+  DcacheAxis back = through;
+  back.policy = WritePolicy::kWriteBack;
+  back.writeback_penalty = 40;
+  spec.dcaches = {DcacheAxis{}, through, back};
+
+  const SpecDocument doc = load_spec(shipped("writeback_dcache.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
+TEST(ShippedSpecs, SharedL2MatchesProgrammaticCampaign) {
+  CampaignSpec spec;
+  spec.tasks = {"fibcall", "ringbuf"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {1e-4};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer};
+  spec.engines = {WcetEngine::kIlp, WcetEngine::kTree};
+  L2Axis l2;
+  l2.enabled = true;
+  l2.geometry.sets = 64;
+  l2.geometry.line_bytes = 32;
+  l2.geometry.hit_latency = 0;
+  l2.geometry.miss_penalty = 80;
+  spec.l2s = {L2Axis{}, l2};
+  spec.ccdf_exceedances = {1e-3, 1e-6, 1e-9, 1e-12, 1e-15};
+
+  const SpecDocument doc = load_spec(shipped("shared_l2.json"));
+  EXPECT_EQ(campaign_spec_key(doc.spec), campaign_spec_key(spec));
+}
+
 TEST(ShippedSpecs, EverySpecRoundTripsThroughTheSerializer) {
   for (const char* name :
        {"geometry_sweep.json", "pfail_sweep.json", "mbpta_vs_spta.json",
         "architecture_tradeoff.json", "ccdf.json", "normalized_pwcet.json",
-        "dcache_extension.json", "srb_conservatism.json"}) {
+        "dcache_extension.json", "srb_conservatism.json", "tlb_sweep.json",
+        "writeback_dcache.json", "shared_l2.json"}) {
     const SpecDocument doc = load_spec(shipped(name));
     const SpecDocument again =
         parse_spec(spec_to_json(doc.spec, doc.name, doc.notes), name);
@@ -478,6 +622,108 @@ TEST(SpecIoErrors, DcacheEntriesMustBeNullOrGeometry) {
   })",
                   {"expected null (data cache off) or a geometry object",
                    "field \"dcaches[0]\""});
+}
+
+TEST(SpecIoErrors, TlbEntriesMustBeAMultipleOfWays) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "tlbs": [{"entries": 10, "ways": 4, "page_bytes": 64}]
+  })",
+                  {"<inline>:6", "entries must be a positive multiple of ways",
+                   "field \"tlbs[0].entries\""});
+}
+
+TEST(SpecIoErrors, TlbMissingPageBytesIsNamed) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "tlbs": [null, {"entries": 16, "ways": 2}]
+  })",
+                  {"TLB entry is missing \"page_bytes\"",
+                   "field \"tlbs[1].page_bytes\""});
+}
+
+TEST(SpecIoErrors, UnknownTlbKeySuggestsTheClosestOne) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "tlbs": [{"entries": 16, "ways": 2, "page_byte": 64}]
+  })",
+                  {"unknown key \"page_byte\" in TLB entry",
+                   "did you mean \"page_bytes\"?",
+                   "field \"tlbs[0].page_byte\""});
+}
+
+TEST(SpecIoErrors, BadWritePolicyListsValidValues) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "dcaches": [{"sets": 8, "ways": 4, "line_bytes": 16,
+                 "policy": "writeback"}]
+  })",
+                  {"unknown write policy \"writeback\"",
+                   "valid values: write_through, write_back",
+                   "field \"dcaches[0].policy\""});
+}
+
+TEST(SpecIoErrors, WritebackPenaltyNeedsWriteBackPolicy) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "dcaches": [{"sets": 8, "ways": 4, "line_bytes": 16,
+                 "writeback_penalty": 40}]
+  })",
+                  {"\"writeback_penalty\" needs \"policy\": \"write_back\"",
+                   "field \"dcaches[0].writeback_penalty\""});
+}
+
+TEST(SpecIoErrors, L2EntriesMustBeNullOrGeometry) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["none"],
+    "l2s": [64]
+  })",
+                  {"expected null (no shared L2) or a geometry object",
+                   "got a number", "field \"l2s[0]\""});
+}
+
+TEST(SpecIoErrors, TlbNeedsSptaKinds) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["SRB"],
+    "kinds": ["spta", "mbpta"],
+    "tlbs": [{"entries": 16, "ways": 2, "page_bytes": 64}]
+  })",
+                  {"kind \"mbpta\" does not support a TLB",
+                   "need kinds = [\"spta\"]", "field \"tlbs\""});
+}
+
+TEST(SpecIoErrors, L2NeedsSptaKinds) {
+  expect_rejected(R"({
+    "tasks": ["fibcall"],
+    "geometries": [{"sets": 16, "ways": 4, "line_bytes": 16}],
+    "pfails": [1e-4],
+    "mechanisms": ["SRB"],
+    "kinds": ["sim"],
+    "l2s": [{"sets": 64, "ways": 4, "line_bytes": 32}]
+  })",
+                  {"kind \"sim\" does not support a shared L2",
+                   "need kinds = [\"spta\"]", "field \"l2s\""});
 }
 
 TEST(SpecIoErrors, DcacheNeedsSptaKinds) {

@@ -29,10 +29,17 @@ TEST(Workloads, ExtensionKernelsBuildAndCarryDataLoads) {
     const Program p = workloads::build(name);
     EXPECT_EQ(p.name(), name);
     p.cfg().validate();
-    std::uint64_t loads = 0;
-    for (const BasicBlock& b : p.cfg().blocks())
+    std::uint64_t loads = 0, stores = 0;
+    for (const BasicBlock& b : p.cfg().blocks()) {
       loads += b.data_addresses.size();
+      stores += b.store_addresses.size();
+    }
     EXPECT_GT(loads, 0u) << name << " records no data loads";
+    // ringbuf is the store-bearing kernel: the write-back d-cache and
+    // TLB/L2 unified-stream paths need at least one task with stores.
+    if (name == "ringbuf") {
+      EXPECT_GT(stores, 0u) << name << " records no data stores";
+    }
   }
   const auto all = workloads::all_names();
   EXPECT_EQ(all.size(), workloads::names().size() +
