@@ -14,6 +14,8 @@
 //   wide             N >= 4 worker threads, fresh store (scaling)
 //   store            cold + warm run on one shared store per repetition
 //                    (memo hit-rate, warm speedup)
+//   pfail_sweep      the 126-job pfail sweep (pfail_sweep_spec()), serial
+//                    + cold — the shared re-weighting bundle's workload
 //
 // Every run's report is byte-identity-checked against the first serial
 // report on the spot (the determinism acceptance check; a drift fails the
@@ -115,13 +117,14 @@ int main() {
   if (options.repetitions == 0) options.repetitions = 1;
   options.warmup = env_count("PWCET_BENCH_WARMUP", 1);
 
-  // The acceptance bar is N >= 4: run with at least 4 workers even on
-  // narrower machines (oversubscription is harmless for the identity
-  // check; the speedup column then simply reports ~1).
+  // Clamped to the machine: oversubscribing a pure-CPU workload only adds
+  // scheduling churn (the committed artifact once ran 4 workers on a
+  // 1-thread machine and reported speedup 0.775 — a measurement of the
+  // oversubscription penalty, not of scaling). An explicit PWCET_THREADS
+  // still wins, so the penalty remains measurable on purpose.
   std::size_t wide_threads = threads_from_env();
   if (wide_threads == 0)
-    wide_threads = std::max(4u, std::thread::hardware_concurrency());
-  wide_threads = std::max<std::size_t>(4, wide_threads);
+    wide_threads = std::max(1u, std::thread::hardware_concurrency());
 
   Captured captured;
   captured.wide_threads = wide_threads;
@@ -188,12 +191,32 @@ int main() {
             captured.warm = warm.store_stats;
           }));
 
+  // The pfail sweep (specs/pfail_sweep.json's grid, 126 jobs with 7
+  // pfail-siblings per group): the workload the shared re-weighting
+  // bundle exists for. Serial + cold so the number is comparable across
+  // machines and PRs. Its reports are a different campaign, so it gets
+  // its own identity baseline.
+  const CampaignSpec pfail_spec = benchlib::pfail_sweep_spec();
+  Identity pfail_identity;
+  std::size_t pfail_jobs = 0;
+  const benchlib::ScenarioReport pfail_sweep =
+      benchlib::summarize_scenario(benchlib::run_scenario(
+          "pfail_sweep", unobserved, [&](benchlib::Recorder&) {
+            AnalysisStore store;
+            RunnerOptions runner;
+            runner.threads = 1;
+            runner.shared_store = &store;
+            const CampaignResult result = run_campaign(pfail_spec, runner);
+            pfail_jobs = result.results.size();
+            pfail_identity.check(result);
+          }));
+
   const char* phase_names[] = {
       obs::phase_name::kCore,     obs::phase_name::kExtract,
       obs::phase_name::kClassify, obs::phase_name::kMaximize,
       obs::phase_name::kFmm,      obs::phase_name::kAnalyze,
-      obs::phase_name::kPwf,      obs::phase_name::kPenalty,
-      obs::phase_name::kConvolve,
+      obs::phase_name::kPwf,      obs::phase_name::kBundle,
+      obs::phase_name::kPenalty,  obs::phase_name::kConvolve,
   };
   std::string phases = "{";
   for (const char* name : phase_names) {
@@ -210,8 +233,9 @@ int main() {
   const double wide_s = median_ms(wide, "wall_ns") / 1e3;
   const double cold_s = median_ms(store_effect, "cold_ns") / 1e3;
   const double warm_s = median_ms(store_effect, "warm_ns") / 1e3;
+  const double pfail_s = median_ms(pfail_sweep, "wall_ns") / 1e3;
   const std::string metrics =
-      metrics_json({serial, observed, wide, store_effect});
+      metrics_json({serial, observed, wide, store_effect, pfail_sweep});
 
   std::string line(2048 + metrics.size(), '\0');
   const int written = std::snprintf(
@@ -226,6 +250,7 @@ int main() {
       "\"store_cold_hits\":%llu,\"store_cold_misses\":%llu,"
       "\"store_warm_hits\":%llu,\"store_warm_misses\":%llu,"
       "\"store_warm_hit_rate\":%.3f,\"store_memo_entries\":%llu,"
+      "\"pfail_sweep_jobs\":%zu,\"wall_seconds_pfail_sweep\":%.6f,"
       "\"phases_ms\":%s,\"obs_overhead_ratio\":%.3f,"
       "\"metrics\":%s,"
       "\"reports_identical\":%s}\n",
@@ -239,9 +264,10 @@ int main() {
       static_cast<unsigned long long>(captured.warm.hits),
       static_cast<unsigned long long>(captured.warm.misses),
       captured.warm.hit_rate(),
-      static_cast<unsigned long long>(captured.warm.entries),
-      phases.c_str(), serial_s > 0.0 ? observed_s / serial_s : 0.0,
-      metrics.c_str(), identity.identical ? "true" : "false");
+      static_cast<unsigned long long>(captured.warm.entries), pfail_jobs,
+      pfail_s, phases.c_str(), serial_s > 0.0 ? observed_s / serial_s : 0.0,
+      metrics.c_str(),
+      identity.identical && pfail_identity.identical ? "true" : "false");
   line.resize(written > 0 ? static_cast<std::size_t>(written) : 0);
 
   std::fputs(line.c_str(), stdout);
@@ -254,5 +280,5 @@ int main() {
     std::fclose(json);
   }
   // A determinism regression must fail the process, not just print false.
-  return identity.identical ? 0 : 1;
+  return identity.identical && pfail_identity.identical ? 0 : 1;
 }

@@ -1,7 +1,9 @@
 #include "analysis/pipeline.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "analysis/icache_domain.hpp"
@@ -13,7 +15,107 @@
 #include "wcet/tree_engine.hpp"
 
 namespace pwcet {
+
+/// Pfail-independent penalty scaffolding of one (pipeline core, per-domain
+/// mechanism assignment) pair — everything analyze() needs below the pwf
+/// weighting. A pfail sweep resolves every point to the same bundle
+/// ("pwcet-bundle-v1" deliberately omits the fault probability) and pays
+/// only the re-weighting and the final convolution fold per point.
+struct PenaltyBundle {
+  struct Domain {
+    /// Distinct FMM rows, numbered in first-set order; `row_of_set` maps
+    /// each cache set to its row. Sets sharing a row (untouched sets,
+    /// symmetric layouts) share one penalty distribution per pfail and
+    /// one subtree per convolution round.
+    std::vector<std::uint32_t> row_of_set;
+    /// Raw per-row miss counts — kept verbatim because they are the
+    /// "set-penalty-v1" key material (re-weighted and from-scratch runs
+    /// must share that memo layer bit for bit).
+    std::vector<std::vector<double>> rows;
+    /// Precomputed atom values per row: ceil(misses) * miss_penalty, the
+    /// same arithmetic build_penalty_distribution applies per set.
+    std::vector<std::vector<Cycles>> penalties;
+  };
+  std::vector<Domain> domains;  ///< one per pipeline domain, in order
+};
+
 namespace {
+
+/// Escape hatch for the re-weighting layer (PWCET_REWEIGHT=0 restores the
+/// per-cell from-scratch path). Both paths are bit-identical — CI diffs
+/// them — so this exists only to prove that claim and to bisect.
+bool reweight_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("PWCET_REWEIGHT");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return enabled;
+}
+
+PenaltyBundle::Domain build_domain_scaffold(const FaultMissMap& fmm,
+                                            const CacheConfig& config) {
+  PenaltyBundle::Domain domain;
+  domain.row_of_set.resize(fmm.misses.size());
+  std::map<std::vector<double>, std::uint32_t> seen;
+  for (std::size_t s = 0; s < fmm.misses.size(); ++s) {
+    const auto [it, inserted] = seen.emplace(
+        fmm.misses[s], static_cast<std::uint32_t>(domain.rows.size()));
+    if (inserted) {
+      domain.rows.push_back(fmm.misses[s]);
+      std::vector<Cycles> penalties;
+      penalties.reserve(fmm.misses[s].size());
+      for (const double misses : fmm.misses[s])
+        penalties.push_back(static_cast<Cycles>(
+            std::ceil(misses - 1e-6) *
+            static_cast<double>(config.miss_penalty)));
+      domain.penalties.push_back(std::move(penalties));
+    }
+    domain.row_of_set[s] = it->second;
+  }
+  return domain;
+}
+
+/// The re-weighted counterpart of build_penalty_distribution: one penalty
+/// distribution per *distinct* FMM row under the given pwf, combined with
+/// the deduplicating convolution tree. Bit-identical to the from-scratch
+/// build — the per-row atoms are the same (penalties precomputed with the
+/// same arithmetic), the per-row memo key is the same "set-penalty-v1"
+/// recipe, and convolve_all_tree_shared reproduces the fixed tree shape.
+DiscreteDistribution build_reweighted_penalty(
+    const PenaltyBundle::Domain& domain, const CacheConfig& config,
+    const std::vector<Probability>& pwf, std::size_t max_points,
+    ThreadPool* pool, AnalysisStore* store) {
+  obs::ScopedPhase penalty_phase(obs::phase_name::kPenalty);
+  auto build_row_cold = [&](std::size_t r) {
+    PWCET_EXPECTS(pwf.size() <= domain.penalties[r].size());
+    std::vector<ProbabilityAtom> atoms;
+    atoms.reserve(pwf.size());
+    for (std::size_t f = 0; f < pwf.size(); ++f)
+      atoms.push_back({domain.penalties[r][f], pwf[f]});
+    return DiscreteDistribution::from_atoms(std::move(atoms));
+  };
+  auto build_row = [&](std::size_t r) {
+    if (store == nullptr) return build_row_cold(r);
+    const StoreKey key = KeyHasher("set-penalty-v1")
+                             .mix_i64(config.miss_penalty)
+                             .mix_doubles(pwf)
+                             .mix_doubles(domain.rows[r])
+                             .finish();
+    return *store->memo().get_or_compute<DiscreteDistribution>(
+        key, [&] { return build_row_cold(r); }, "set-penalty");
+  };
+  std::vector<DiscreteDistribution> distinct;
+  if (pool != nullptr) {
+    distinct = pool->map_indexed(domain.rows.size(), build_row);
+  } else {
+    distinct.reserve(domain.rows.size());
+    for (std::size_t r = 0; r < domain.rows.size(); ++r)
+      distinct.push_back(build_row(r));
+  }
+  obs::ScopedPhase convolve_phase(obs::phase_name::kConvolve);
+  return convolve_all_tree_shared(distinct, domain.row_of_set, max_points,
+                                  pool);
+}
 
 /// Memo value of the pipeline-core layer: everything expensive the
 /// constructor produces. Cached all-or-nothing so the ILP engine's shared
@@ -206,6 +308,35 @@ PwcetResult PwcetPipeline::analyze(const FaultModel& faults,
                  std::vector<Mechanism>(domains_.size(), mechanism));
 }
 
+std::shared_ptr<const PenaltyBundle> PwcetPipeline::acquire_bundle(
+    const std::vector<Mechanism>& mechanisms) const {
+  std::lock_guard<std::mutex> lock(bundle_mutex_);
+  std::shared_ptr<const PenaltyBundle>& slot = bundle_cache_[mechanisms];
+  if (slot != nullptr) return slot;
+  auto compute = [&] {
+    PenaltyBundle bundle;
+    bundle.domains.reserve(domains_.size());
+    for (std::size_t i = 0; i < domains_.size(); ++i)
+      bundle.domains.push_back(build_domain_scaffold(
+          fmms_[i].of(mechanisms[i]), domains_[i]->config()));
+    return bundle;
+  };
+  if (options_.store != nullptr) {
+    // Memo layer: pipelines with the same core (same program, domains,
+    // engine — e.g. every group of a pfail sweep sharing a geometry) share
+    // one bundle per mechanism assignment, across instances.
+    std::vector<std::uint64_t> mechanism_ids;
+    mechanism_ids.reserve(mechanisms.size());
+    for (const Mechanism mechanism : mechanisms)
+      mechanism_ids.push_back(static_cast<std::uint64_t>(mechanism));
+    slot = options_.store->memo().get_or_compute<PenaltyBundle>(
+        pwcet_bundle_key(core_key_, mechanism_ids), compute, "bundle");
+  } else {
+    slot = std::make_shared<const PenaltyBundle>(compute());
+  }
+  return slot;
+}
+
 PwcetResult PwcetPipeline::analyze(
     const FaultModel& faults, const std::vector<Mechanism>& mechanisms) const {
   PWCET_EXPECTS(mechanisms.size() == domains_.size());
@@ -269,16 +400,30 @@ PwcetResult PwcetPipeline::analyze(
   // Domains are physically disjoint SRAM arrays — their fault counts are
   // independent — so the cross-domain penalty is the convolution, folded
   // in domain order with the same coalescing budget.
-  DiscreteDistribution penalty = build_penalty_distribution(
-      fmms_[0].of(mechanisms[0]), domains_[0]->config(), pwfs[0],
-      options_.max_distribution_points, options_.pool, store);
-  for (std::size_t i = 1; i < domains_.size(); ++i) {
-    const DiscreteDistribution domain_penalty = build_penalty_distribution(
+  //
+  // Default path: re-weight the shared pfail-independent bundle — the
+  // scaffold is fetched (or built once) under its pfail-free key, and
+  // only the per-row weighting + the convolution fold run per pfail.
+  // PWCET_REWEIGHT=0 takes the historical from-scratch build instead;
+  // both are bit-identical (enforced by tests and a CI diff step).
+  std::shared_ptr<const PenaltyBundle> bundle;
+  if (reweight_enabled()) {
+    obs::ScopedPhase bundle_phase(obs::phase_name::kBundle);
+    bundle = acquire_bundle(mechanisms);
+  }
+  auto domain_penalty = [&](std::size_t i) {
+    if (bundle != nullptr)
+      return build_reweighted_penalty(
+          bundle->domains[i], domains_[i]->config(), pwfs[i],
+          options_.max_distribution_points, options_.pool, store);
+    return build_penalty_distribution(
         fmms_[i].of(mechanisms[i]), domains_[i]->config(), pwfs[i],
         options_.max_distribution_points, options_.pool, store);
-    penalty = penalty.convolve(domain_penalty)
+  };
+  DiscreteDistribution penalty = domain_penalty(0);
+  for (std::size_t i = 1; i < domains_.size(); ++i)
+    penalty = penalty.convolve(domain_penalty(i))
                   .coalesce_up(options_.max_distribution_points);
-  }
   result.penalty = std::move(penalty);
 
   if (store != nullptr) {

@@ -35,7 +35,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "analysis/cache_domain.hpp"
@@ -46,6 +48,7 @@ namespace pwcet {
 
 class AnalysisStore;
 class ThreadPool;
+struct PenaltyBundle;
 
 struct PwcetOptions {
   /// Engine for the fault-free WCET and the FMM delta maximizations.
@@ -155,12 +158,24 @@ class PwcetPipeline {
   const StoreKey& core_key() const { return core_key_; }
 
  private:
+  /// The pfail-independent re-weighting bundle of one mechanism
+  /// assignment: per-domain penalty scaffolding ("pwcet-bundle-v1",
+  /// store/key.hpp) shared by every pfail point that analyze() sees.
+  /// Cached per instance (so store-less runs share too) and, with a
+  /// store, memoized across pipelines under the bundle key.
+  std::shared_ptr<const PenaltyBundle> acquire_bundle(
+      const std::vector<Mechanism>& mechanisms) const;
+
   const Program& program_;
   std::vector<std::shared_ptr<const CacheDomain>> domains_;
   PwcetOptions options_;
   Cycles fault_free_wcet_ = 0;
   std::vector<FmmBundle> fmms_;
   StoreKey core_key_;
+  mutable std::mutex bundle_mutex_;
+  mutable std::map<std::vector<Mechanism>,
+                   std::shared_ptr<const PenaltyBundle>>
+      bundle_cache_;
 };
 
 }  // namespace pwcet

@@ -53,4 +53,11 @@ std::vector<Scenario> builtin_scenarios();
 /// identical to the grid tracked in BENCH_perf_analysis_time.json.
 CampaignSpec geometry_sweep_spec();
 
+/// The pfail-sweep campaign (specs/pfail_sweep.json's grid): 6 tasks x
+/// 1 geometry x 7 pfails x 3 mechanisms = 126 jobs. The stress case for
+/// the shared re-weighting bundle — every group holds 7 pfail-siblings
+/// per mechanism — tracked in BENCH_perf_analysis_time.json and gated in
+/// CI via campaign.pfail_sweep.cold.
+CampaignSpec pfail_sweep_spec();
+
 }  // namespace pwcet::benchlib

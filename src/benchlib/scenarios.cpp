@@ -38,6 +38,20 @@ CampaignSpec geometry_sweep_spec() {
   return spec;
 }
 
+CampaignSpec pfail_sweep_spec() {
+  // Mirrors specs/pfail_sweep.json (E3): the paper's geometry, the full
+  // pfail ladder from the 45 nm literature value to the low-voltage
+  // regime. Kept in lockstep with the JSON spec by tests/benchlib_test.
+  CampaignSpec spec;
+  spec.tasks = {"adpcm", "fibcall", "matmult", "crc", "fft", "ud"};
+  spec.geometries = {CacheConfig::paper_default()};
+  spec.pfails = {6.1e-13, 1e-9, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3};
+  spec.mechanisms = {Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+                     Mechanism::kReliableWay};
+  spec.target_exceedance = 1e-15;
+  return spec;
+}
+
 namespace {
 
 /// Checks campaign-report identity across repetitions: the first
@@ -124,6 +138,53 @@ std::vector<Scenario> builtin_scenarios() {
                run_campaign(geometry_sweep_spec(), runner);
            identity->check(report_csv(result),
                            "campaign.geometry_sweep.warm");
+         }});
+  }
+
+  // ---- macro: the pfail-sweep campaign -----------------------------------
+  // The re-weighting stress case: 7 pfail points per (task, mechanism)
+  // group share one bundle, so this scenario is dominated by phase.pwf +
+  // the convolution fold — exactly the phases the CI gate injects into.
+  {
+    auto identity = std::make_shared<IdentityCheck>();
+    scenarios.push_back(
+        {"campaign.pfail_sweep.cold",
+         "pfail-sweep campaign (126 jobs, 7 pfails/group), fresh in-memory "
+         "store per repetition",
+         {},
+         [identity](Recorder&, const ScenarioOptions& options) {
+           AnalysisStore store;
+           RunnerOptions runner;
+           runner.threads = options.threads;
+           runner.shared_store = &store;
+           const CampaignResult result =
+               run_campaign(pfail_sweep_spec(), runner);
+           identity->check(report_csv(result), "campaign.pfail_sweep.cold");
+         }});
+  }
+  {
+    auto store = std::make_shared<AnalysisStore>();
+    auto identity = std::make_shared<IdentityCheck>();
+    scenarios.push_back(
+        {"campaign.pfail_sweep.warm",
+         "same pfail sweep answered from an already-hot shared store (memo "
+         "hit path)",
+         [store, identity](const ScenarioOptions& options) {
+           RunnerOptions runner;
+           runner.threads = options.threads;
+           runner.shared_store = store.get();
+           identity->check(
+               report_csv(run_campaign(pfail_sweep_spec(), runner)),
+               "campaign.pfail_sweep.warm");
+         },
+         [store, identity](Recorder&, const ScenarioOptions& options) {
+           RunnerOptions runner;
+           runner.threads = options.threads;
+           runner.shared_store = store.get();
+           const CampaignResult result =
+               run_campaign(pfail_sweep_spec(), runner);
+           identity->check(report_csv(result),
+                           "campaign.pfail_sweep.warm");
          }});
   }
 

@@ -278,6 +278,16 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
 
+  // Oversubscription warning: more workers than hardware threads never
+  // helps this workload (pure CPU, no blocking I/O) — the committed bench
+  // once ran 4 workers on a 1-thread machine and *lost* (speedup 0.775).
+  // The default (0 = one per hardware thread) cannot oversubscribe.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware != 0 && options.threads > hardware)
+    err << "pwcet: warning: --threads " << options.threads
+        << " oversubscribes the " << hardware
+        << " hardware thread(s); expect a slowdown, not a speedup\n";
+
   // An explicit `--store on` must win over a PWCET_STORE=0 left in the
   // environment (that knob exists to drive the spec-less bench binaries).
   // run_campaign applies the env override only when it constructs the
@@ -422,7 +432,16 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
   if (!spec.ccdf_exceedances.empty())
     out << "distribution sink: " << spec.ccdf_exceedances.size()
         << " exceedance points per job\n";
-  out << "spec key: " << campaign_spec_key(spec).hex() << "\n\n";
+  out << "spec key: " << campaign_spec_key(spec).hex() << "\n";
+  // Capacity line (and an oversubscription warning when PWCET_THREADS
+  // overrides past it) so a reader of `describe` can budget a run.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  out << "hardware threads: " << hardware << "\n\n";
+  const std::size_t env_threads = threads_from_env();
+  if (hardware != 0 && env_threads > hardware)
+    err << "pwcet: warning: PWCET_THREADS=" << env_threads
+        << " oversubscribes the " << hardware
+        << " hardware thread(s); expect a slowdown, not a speedup\n";
 
   // Each cache-domain axis gets its own geometry column so a grid mixing
   // TLB and L2 cells stays readable: the dcache label carries a "-wb<N>"

@@ -464,27 +464,59 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // values, content-equal geometries) run adjacently and stay hot in the
   // bounded LRU. The axis tuple breaks ties, keeping the order a pure
   // function of the spec. Output is unaffected: slots are indexed.
-  std::vector<std::pair<StoreKey, const std::vector<std::size_t>*>> ordered;
+  std::vector<std::pair<StoreKey, std::vector<std::size_t>>> ordered;
   ordered.reserve(groups.size());
-  for (const auto& [key, members] : groups)
-    ordered.emplace_back(campaign_group_key(jobs[members.front()]), &members);
+  for (auto& [key, members] : groups)
+    ordered.emplace_back(campaign_group_key(jobs[members.front()]),
+                         std::move(members));
   std::stable_sort(ordered.begin(), ordered.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Within a group, run pfail-siblings back to back: cells differing only
+  // in pfail share the whole pfail-independent re-weighting bundle
+  // (analysis/pipeline.cpp), so ordering the mechanism axis outermost and
+  // pfail innermost lands every sibling on a bundle that is still hot.
+  // Expansion order puts pfail outside the mechanism axis, so without this
+  // the bundles would be cycled N_pfail times each. The sort key is a pure
+  // function of the spec; output is unaffected (slots are indexed).
+  for (auto& [key, members] : ordered)
+    std::stable_sort(members.begin(), members.end(),
+                     [&jobs](std::size_t a, std::size_t b) {
+                       const CampaignJob& x = jobs[a];
+                       const CampaignJob& y = jobs[b];
+                       return std::tie(x.kind_i, x.mechanism_i, x.dmech_i,
+                                       x.samples_i, x.pfail_i) <
+                              std::tie(y.kind_i, y.mechanism_i, y.dmech_i,
+                                       y.samples_i, y.pfail_i);
+                     });
 
   std::vector<std::future<void>> futures;
   futures.reserve(ordered.size());
   const bool observing = obs::Tracer::instance().enabled() ||
                          obs::MetricsRegistry::instance().enabled();
   for (const auto& entry : ordered) {
-    // Submission timestamp, taken on the submitting thread: the delta to
-    // the task's first instruction is the group's queue wait.
+    // Submission timestamp, taken on the submitting thread. The group's
+    // queue wait is the time it sat *runnable with an idle worker*: from
+    // max(its own enqueue, the executing worker's previous group finish)
+    // to its first instruction. Measuring from enqueue alone counts the
+    // whole backlog ahead of a bulk-enqueued group as "wait" — a 1.7s
+    // serial campaign reported a 10s median — when that time is worked,
+    // not waited. With the clamp, serial waits sum to scheduler overhead
+    // only, so sum(queue_wait) <= wall holds (pinned by obs_test).
     const std::uint64_t submitted_ns = observing ? obs::monotonic_ns() : 0;
     futures.push_back(pool.submit([&spec, &jobs, &campaign, &pool, &options,
                                    store, submitted_ns, observing,
-                                   members = entry.second] {
+                                   members = &entry.second] {
+      // Monotonic finish time of the previous group task on this worker
+      // thread; zero on a fresh thread. Stale values from an earlier
+      // campaign in the same process are harmless — the clock is
+      // monotonic, so max() discards anything before this submission.
+      thread_local std::uint64_t worker_busy_until_ns = 0;
       obs::TraceSpan group_span(obs::engine_name::kGroup, "engine");
       if (observing) {
-        const std::uint64_t wait_ns = obs::monotonic_ns() - submitted_ns;
+        const std::uint64_t runnable_ns =
+            std::max(submitted_ns, worker_busy_until_ns);
+        const std::uint64_t wait_ns = obs::monotonic_ns() - runnable_ns;
         obs::MetricsRegistry::instance().observe_ns("engine.queue_wait",
                                                     wait_ns);
         if (group_span.active()) {
@@ -553,6 +585,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         }
         if (options.on_job_finished) options.on_job_finished();
       }
+      if (observing) worker_busy_until_ns = obs::monotonic_ns();
     }));
   }
 
@@ -563,16 +596,18 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // needed for nested waits *on* pool threads (map_indexed does that).
   //
   // Futures are iterated in cache-aware submission order, which is a
-  // hash order — so the "first in expansion order" rethrow promise is
-  // kept by ranking failed groups by their first job's expansion index,
-  // not by submission position.
+  // hash order — and the members within a group are sibling-sorted, no
+  // longer in expansion order either — so the "first in expansion order"
+  // rethrow promise is kept by ranking failed groups by their *smallest*
+  // job expansion index, not by submission or member position.
   std::exception_ptr first_error;
   std::size_t first_error_job = jobs.size();
   for (std::size_t g = 0; g < futures.size(); ++g) {
     try {
       futures[g].get();
     } catch (...) {
-      const std::size_t job_index = ordered[g].second->front();
+      const std::size_t job_index = *std::min_element(
+          ordered[g].second.begin(), ordered[g].second.end());
       if (!first_error || job_index < first_error_job) {
         first_error = std::current_exception();
         first_error_job = job_index;

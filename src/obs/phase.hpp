@@ -30,6 +30,8 @@ inline constexpr const char* kFmm = "phase.fmm";
 inline constexpr const char* kAnalyze = "pipeline.analyze";
 /// pwf weighting vectors (Eq. 2/3) for every domain.
 inline constexpr const char* kPwf = "phase.pwf";
+/// Pfail-independent penalty scaffold (bundle) build / fetch.
+inline constexpr const char* kBundle = "phase.bundle";
 /// Per-set penalty distributions + their cross-set convolution.
 inline constexpr const char* kPenalty = "phase.penalty";
 /// The fixed-shape pairwise convolution tree inside kPenalty.

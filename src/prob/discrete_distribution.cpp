@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <utility>
 
 #include "engine/thread_pool.hpp"
 #include "support/contracts.hpp"
@@ -10,6 +16,11 @@ namespace pwcet {
 namespace {
 
 constexpr Probability kMassTolerance = 1e-9;
+
+/// Upper bound on the dense accumulator of `convolve` (doubles, so 32 MiB
+/// at the cap). Above it — or when the support is too sparse for a dense
+/// array to pay off — convolution falls back to the streaming k-way merge.
+constexpr std::uint64_t kDenseBucketCap = std::uint64_t{1} << 22;
 
 std::vector<ProbabilityAtom> normalize_atoms(
     std::vector<ProbabilityAtom> atoms) {
@@ -107,28 +118,118 @@ Cycles DiscreteDistribution::quantile_exceedance(Probability p) const {
 DiscreteDistribution DiscreteDistribution::convolve(
     const DiscreteDistribution& other) const {
   // Hot loop of the whole analysis (every set pair of every penalty
-  // distribution funnels through here): two flat reserved buffers instead
-  // of a node-per-value ordered map. The pair products are generated
-  // a-major/b-minor, stable-sorted by value and accumulated left to right,
-  // so each value's probabilities sum in exactly the generation order —
-  // the same order the map-based version inserted them — keeping results
-  // bit-identical while eliminating the per-node allocations.
-  std::vector<ProbabilityAtom> products;
-  products.reserve(atoms_.size() * other.atoms_.size());
-  for (const auto& a : atoms_)
-    for (const auto& b : other.atoms_)
-      products.push_back({a.value + b.value, a.probability * b.probability});
-  std::stable_sort(products.begin(), products.end(),
-                   [](const ProbabilityAtom& x, const ProbabilityAtom& y) {
-                     return x.value < y.value;
-                   });
+  // distribution funnels through here). Penalty supports live on a coarse
+  // lattice — every atom value is a multiple of the domain's miss penalty
+  // — so the n*m pair products collapse onto few distinct sums. The fast
+  // path exploits that: accumulate products directly into a dense bucket
+  // array indexed by (value - base) / stride, where stride is the gcd of
+  // all support offsets. No product buffer, no sort — O(n*m) fused
+  // multiply-adds plus one scan over the buckets.
+  //
+  // Bit-identity contract: the historical implementation generated the
+  // products a-major/b-minor, stable-sorted them by value and accumulated
+  // left to right, so each value's probabilities summed in generation
+  // order. Both paths below preserve exactly that per-value order — the
+  // dense path because products are added to their bucket the moment they
+  // are generated (a-major/b-minor), the merge path because the heap
+  // breaks value ties by row index — so results are bit-identical to the
+  // historical ones at every probability.
+  const std::vector<ProbabilityAtom>& a = atoms_;
+  const std::vector<ProbabilityAtom>& b = other.atoms_;
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+
+  // Lattice stride: gcd of every offset from the first atom, both inputs.
+  Cycles stride = 0;
+  for (std::size_t i = 1; i < n; ++i)
+    stride = std::gcd(stride, a[i].value - a[0].value);
+  for (std::size_t j = 1; j < m; ++j)
+    stride = std::gcd(stride, b[j].value - b[0].value);
+  if (stride == 0) stride = 1;  // both inputs degenerate
+  const Cycles base = a.front().value + b.front().value;
+  const std::uint64_t buckets =
+      static_cast<std::uint64_t>(
+          (a.back().value + b.back().value - base) / stride) +
+      1;
+
+  // Checked pair count: the product can overflow size_t for adversarially
+  // wide inputs (the old code reserved n*m elements unchecked — an absurd
+  // or wrapping allocation). Neither path below materializes the products,
+  // so an overflowing count only steers the path choice.
+  const bool pairs_overflow = n > std::numeric_limits<std::size_t>::max() / m;
+  const std::uint64_t pairs =
+      pairs_overflow ? std::numeric_limits<std::uint64_t>::max()
+                     : static_cast<std::uint64_t>(n) * m;
+
+  // Dense only when the bucket array is small in absolute terms and not
+  // wastefully sparse relative to the work (a handful of atoms spread
+  // over a huge gcd-1 range would scan mostly zeros).
+  if (buckets <= kDenseBucketCap &&
+      (buckets <= 4096 || buckets <= 4 * pairs)) {
+    std::vector<double> acc(static_cast<std::size_t>(buckets), 0.0);
+    std::vector<double> pb(m);
+    for (std::size_t j = 0; j < m; ++j) pb[j] = b[j].probability;
+    // When b occupies every lattice point its bucket offsets are 0..m-1
+    // and the inner loop is a contiguous fused multiply-add the compiler
+    // vectorizes; otherwise scatter through precomputed offsets.
+    const bool contiguous =
+        b.back().value - b.front().value == stride * Cycles(m - 1);
+    std::vector<std::size_t> off_b;
+    if (!contiguous) {
+      off_b.resize(m);
+      for (std::size_t j = 0; j < m; ++j)
+        off_b[j] =
+            static_cast<std::size_t>((b[j].value - b[0].value) / stride);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pa = a[i].probability;
+      double* row =
+          acc.data() + static_cast<std::size_t>((a[i].value - a[0].value) /
+                                                stride);
+      if (contiguous) {
+        for (std::size_t j = 0; j < m; ++j) row[j] += pa * pb[j];
+      } else {
+        for (std::size_t j = 0; j < m; ++j) row[off_b[j]] += pa * pb[j];
+      }
+    }
+    std::vector<ProbabilityAtom> atoms;
+    atoms.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+        buckets, pairs)));
+    for (std::uint64_t k = 0; k < buckets; ++k)
+      if (acc[static_cast<std::size_t>(k)] != 0.0)
+        atoms.push_back({base + static_cast<Cycles>(k) * stride,
+                         acc[static_cast<std::size_t>(k)]});
+    return DiscreteDistribution(std::move(atoms));
+  }
+
+  // Streaming fallback: k-way merge of the n sorted rows {a_i + b_j : j}.
+  // Within a row values are strictly increasing (b is), so each row has
+  // one live head; ties across rows pop in row order = generation order.
+  // O(n + output) memory regardless of n*m — this is the chunk-free
+  // answer to the old unchecked reserve(n*m).
+  struct Head {
+    Cycles value;
+    std::uint32_t row;
+    std::uint32_t col;
+  };
+  const auto later = [](const Head& x, const Head& y) {
+    return x.value != y.value ? x.value > y.value : x.row > y.row;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
+  for (std::size_t i = 0; i < n; ++i)
+    heap.push({a[i].value + b[0].value, static_cast<std::uint32_t>(i), 0});
   std::vector<ProbabilityAtom> atoms;
-  atoms.reserve(products.size());
-  for (const auto& product : products) {
-    if (!atoms.empty() && atoms.back().value == product.value)
-      atoms.back().probability += product.probability;
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    const double p = a[head.row].probability * b[head.col].probability;
+    if (!atoms.empty() && atoms.back().value == head.value)
+      atoms.back().probability += p;
     else
-      atoms.push_back(product);
+      atoms.push_back({head.value, p});
+    if (head.col + 1 < m)
+      heap.push({a[head.row].value + b[head.col + 1].value, head.row,
+                 head.col + 1});
   }
   std::erase_if(atoms,
                 [](const ProbabilityAtom& a) { return a.probability == 0.0; });
@@ -242,6 +343,56 @@ DiscreteDistribution convolve_all_tree(
   }
   // A single oversized input must still honour the budget.
   return level.front().coalesce_up(max_points);
+}
+
+DiscreteDistribution convolve_all_tree_shared(
+    const std::vector<DiscreteDistribution>& distinct,
+    const std::vector<std::uint32_t>& ids, std::size_t max_points,
+    ThreadPool* pool) {
+  if (ids.empty()) return DiscreteDistribution();
+  for (const std::uint32_t id : ids) PWCET_EXPECTS(id < distinct.size());
+  // Mirror convolve_all_tree exactly, but carry ids instead of values:
+  // each round pairs positions (0,1), (2,3), ..., and positions holding
+  // the same (left, right) id pair share one convolution. Work items are
+  // numbered in first-occurrence order so the pooled map stays a pure
+  // function of the input (deterministic at any thread count).
+  std::vector<DiscreteDistribution> values = distinct;
+  std::vector<std::uint32_t> level = ids;
+  while (level.size() > 1) {
+    const std::size_t pairs = level.size() / 2;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> seen;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> work;
+    std::vector<std::uint32_t> next(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const std::pair<std::uint32_t, std::uint32_t> key{level[2 * i],
+                                                        level[2 * i + 1]};
+      const auto [it, inserted] =
+          seen.emplace(key, static_cast<std::uint32_t>(work.size()));
+      if (inserted) work.push_back(key);
+      next[i] = it->second;
+    }
+    auto reduce_pair = [&](std::size_t w) {
+      return values[work[w].first]
+          .convolve(values[work[w].second])
+          .coalesce_up(max_points);
+    };
+    std::vector<DiscreteDistribution> next_values;
+    if (pool != nullptr) {
+      next_values = pool->map_indexed(work.size(), reduce_pair);
+    } else {
+      next_values.reserve(work.size() + 1);
+      for (std::size_t w = 0; w < work.size(); ++w)
+        next_values.push_back(reduce_pair(w));
+    }
+    // An odd trailing position passes through unchanged, as a fresh id.
+    if (level.size() % 2 != 0) {
+      next.push_back(static_cast<std::uint32_t>(next_values.size()));
+      next_values.push_back(std::move(values[level.back()]));
+    }
+    values = std::move(next_values);
+    level = std::move(next);
+  }
+  return values[level.front()].coalesce_up(max_points);
 }
 
 }  // namespace pwcet

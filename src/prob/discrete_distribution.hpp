@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -120,6 +121,20 @@ class ThreadPool;
 /// the result still stochastically dominates the exact convolution.
 DiscreteDistribution convolve_all_tree(
     const std::vector<DiscreteDistribution>& parts, std::size_t max_points,
+    ThreadPool* pool = nullptr);
+
+/// Deduplicating variant of convolve_all_tree for inputs given as
+/// (distinct distributions, per-leaf id) — the shape the re-weighting
+/// bundle produces, where many cache sets share one penalty distribution.
+/// The tree has exactly the same shape as convolve_all_tree applied to the
+/// expanded leaf list `distinct[ids[0]], distinct[ids[1]], ...`, but each
+/// *distinct* (left id, right id) pair per round is convolved only once
+/// and the result shared by every position holding that pair. Convolution
+/// and coalescing are deterministic, so equal id pairs produce equal
+/// results and the output is bit-identical to the non-deduplicating tree.
+DiscreteDistribution convolve_all_tree_shared(
+    const std::vector<DiscreteDistribution>& distinct,
+    const std::vector<std::uint32_t>& ids, std::size_t max_points,
     ThreadPool* pool = nullptr);
 
 }  // namespace pwcet

@@ -299,5 +299,110 @@ TEST(ThirdDomain, SecondaryDomainsCannotLeadAPipeline) {
       "standalone");
 }
 
+// ---- the shared re-weighting bundle ----------------------------------------
+
+// The pfail ladder and mechanism set of specs/pfail_sweep.json — the grid
+// the bundle exists for.
+const std::vector<Probability> kSweepPfails = {6.1e-13, 1e-9, 1e-7, 1e-6,
+                                               1e-5,    1e-4, 1e-3};
+const std::vector<Mechanism> kAllMechanisms = {
+    Mechanism::kNone, Mechanism::kSharedReliableBuffer,
+    Mechanism::kReliableWay};
+
+TEST(Reweight, SweptCellsAreByteIdenticalToFreshPipelines) {
+  // Property: analyzing N pfail points through ONE pipeline instance —
+  // where every point after the first re-weights the cached bundle — is
+  // byte-identical to a fresh pipeline per point (which builds its bundle
+  // from scratch). Swept across the shipped pfail_sweep tasks, serial and
+  // pooled, store off and on (cold + warm within the shared store).
+  ThreadPool pool(3);
+  for (const char* task : {"adpcm", "fibcall", "matmult", "crc", "fft",
+                           "ud"}) {
+    const Program p = workloads::build(task);
+    const auto domains = std::vector<std::shared_ptr<const CacheDomain>>{
+        std::make_shared<IcacheDomain>(CacheConfig::paper_default())};
+    AnalysisStore store;
+    PwcetOptions stored_options;
+    stored_options.store = &store;
+    PwcetOptions pooled_options;
+    pooled_options.pool = &pool;
+    const PwcetPipeline swept(p, domains);
+    const PwcetPipeline swept_stored(p, domains, stored_options);
+    const PwcetPipeline swept_pooled(p, domains, pooled_options);
+    for (const Mechanism mechanism : kAllMechanisms) {
+      for (const Probability pfail : kSweepPfails) {
+        const FaultModel faults(pfail);
+        const PwcetResult shared = swept.analyze(faults, mechanism);
+        const PwcetResult fresh =
+            PwcetPipeline(p, domains).analyze(faults, mechanism);
+        ASSERT_EQ(shared.penalty, fresh.penalty) << task;
+        ASSERT_EQ(shared.fault_free_wcet, fresh.fault_free_wcet) << task;
+        ASSERT_EQ(swept_stored.analyze(faults, mechanism).penalty,
+                  shared.penalty)
+            << task;
+        ASSERT_EQ(swept_pooled.analyze(faults, mechanism).penalty,
+                  shared.penalty)
+            << task;
+      }
+    }
+    // Warm pass: every cell now memoized; must reproduce the same bytes.
+    for (const Mechanism mechanism : kAllMechanisms)
+      for (const Probability pfail : kSweepPfails)
+        ASSERT_EQ(
+            swept_stored.analyze(FaultModel(pfail), mechanism).penalty,
+            swept.analyze(FaultModel(pfail), mechanism).penalty)
+            << task;
+  }
+}
+
+TEST(Reweight, MatchesTheFromScratchPenaltyComposition) {
+  // The re-weighted analyze() against the exported from-scratch builder
+  // (build_penalty_distribution reads the raw FMM per cell): bit-equality
+  // here proves the bundle path changes nothing, independent of the
+  // PWCET_REWEIGHT escape hatch and of which path analyze() took.
+  const Program p = workloads::build("fibcall");
+  const PwcetPipeline pipeline(
+      p, {std::make_shared<IcacheDomain>(CacheConfig::paper_default())});
+  for (const Mechanism mechanism : kAllMechanisms) {
+    for (const Probability pfail : kSweepPfails) {
+      const FaultModel faults(pfail);
+      const DiscreteDistribution from_scratch = build_penalty_distribution(
+          pipeline.fmm(0).of(mechanism), pipeline.domain(0).config(),
+          pipeline.domain(0).pwf(faults, mechanism), 2048, nullptr,
+          nullptr);
+      ASSERT_EQ(pipeline.analyze(faults, mechanism).penalty, from_scratch);
+    }
+  }
+}
+
+TEST(Reweight, MultiDomainSweepMatchesFreshPipelines) {
+  // The bundle carries one scaffold per domain; the cross-domain fold
+  // must stay byte-identical under re-weighting too.
+  const Program p = workloads::build("fibcall");
+  const auto domains = std::vector<std::shared_ptr<const CacheDomain>>{
+      std::make_shared<IcacheDomain>(CacheConfig::paper_default()),
+      std::make_shared<DcacheDomain>(small_dcache())};
+  const PwcetPipeline swept(p, domains);
+  for (const Probability pfail : kSweepPfails) {
+    const FaultModel faults(pfail);
+    const PwcetResult shared = swept.analyze(faults, kMixedMechanisms[0]);
+    const PwcetResult fresh =
+        PwcetPipeline(p, domains).analyze(faults, kMixedMechanisms[0]);
+    ASSERT_EQ(shared.penalty, fresh.penalty);
+  }
+}
+
+TEST(Reweight, BundleKeyOmitsPfailAndIsPinned) {
+  // The bundle recipe must never drift (persisted memo semantics), and —
+  // its entire point — must not incorporate the fault probability: the
+  // key is a pure function of (core key, mechanism assignment).
+  const StoreKey core = KeyHasher("pinned-core").mix_u64(42).finish();
+  const StoreKey key = pwcet_bundle_key(core, {0, 2});
+  EXPECT_EQ(key.hex(), pwcet_bundle_key(core, {0, 2}).hex());
+  EXPECT_NE(key, pwcet_bundle_key(core, {0, 1}));
+  EXPECT_NE(key, pwcet_bundle_key(core, {0}));
+  EXPECT_EQ(key.hex(), "fc42a10a1ab4c875820a9ca3da302e2a");
+}
+
 }  // namespace
 }  // namespace pwcet

@@ -26,6 +26,7 @@
 #include "benchlib/scenario.hpp"
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
+#include "engine/spec_io.hpp"
 #include "obs/metrics.hpp"
 #include "store/analysis_store.hpp"
 #include "support/stats.hpp"
@@ -344,6 +345,32 @@ TEST(BenchScenarios, MeasuringACampaignIsObservationOnly) {
   // no collector armed.
   EXPECT_FALSE(obs::MetricsRegistry::instance().enabled());
   EXPECT_EQ(report_csv(run_campaign(spec, options)), reference);
+}
+
+// ---- scenario specs stay in lockstep with the shipped JSON -----------------
+
+// The campaign scenarios rebuild their specs in C++ (so `pwcet bench`
+// needs no file paths); these pins keep them byte-equivalent to the
+// shipped JSON specs the CLI and tables use — a drift would silently make
+// the bench measure a different campaign than the one CI diffs.
+TEST(BenchScenarios, GeometrySweepSpecMatchesShippedJson) {
+  const SpecDocument doc =
+      load_spec(std::string(PWCET_SPECS_DIR) + "/geometry_sweep.json");
+  CampaignSpec programmatic = geometry_sweep_spec();
+  // The shipped spec carries two extra tasks and the table's exceedance
+  // target; the scenario trims tasks for bench wall-clock. Geometry /
+  // pfail / mechanism axes must match exactly.
+  EXPECT_EQ(programmatic.geometries.size(), doc.spec.geometries.size());
+  programmatic.tasks = doc.spec.tasks;
+  programmatic.target_exceedance = doc.spec.target_exceedance;
+  EXPECT_EQ(campaign_spec_key(programmatic), campaign_spec_key(doc.spec));
+}
+
+TEST(BenchScenarios, PfailSweepSpecMatchesShippedJson) {
+  const SpecDocument doc =
+      load_spec(std::string(PWCET_SPECS_DIR) + "/pfail_sweep.json");
+  EXPECT_EQ(campaign_spec_key(pfail_sweep_spec()),
+            campaign_spec_key(doc.spec));
 }
 
 }  // namespace

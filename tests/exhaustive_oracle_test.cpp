@@ -31,6 +31,7 @@
 #include "dcache/dcache_analysis.hpp"
 #include "sim/cache_sim.hpp"
 #include "sim/path.hpp"
+#include "store/analysis_store.hpp"
 #include "support/rng.hpp"
 #include "wcet/cost_model.hpp"
 #include "wcet/fmm.hpp"
@@ -378,6 +379,68 @@ TEST_P(RandomOracleTest, IcachePwcetDominatesExhaustiveDistribution) {
           DiscreteDistribution::from_atoms(atoms);
 
       const PwcetResult result = analyzer.analyze(faults, mech);
+      const DiscreteDistribution analytic =
+          result.penalty.shift(result.fault_free_wcet);
+      EXPECT_TRUE(analytic.dominates(exact, 1e-9))
+          << "mech=" << mechanism_name(mech) << " pfail=" << pfail
+          << " paths=" << paths.size();
+    }
+  }
+}
+
+TEST_P(RandomOracleTest, ReweightedPfailSweepDominatesExhaustive) {
+  // The re-weighted path against the oracle wall: a pfail LADDER is
+  // analyzed through ONE pipeline instance with a live store, so every
+  // point after the first reuses the cached pwcet-bundle-v1 scaffold and
+  // only re-weights it. Each point must still dominate the exhaustive
+  // fault-enumeration distribution — soundness survives the sharing.
+  std::vector<std::vector<BlockId>> paths;
+  const Program p =
+      oracle_program(0x4eb00000 + static_cast<std::uint64_t>(GetParam()),
+                     /*with_data_loads=*/false, paths);
+  const CacheConfig c = tiny_cache();
+  AnalysisStore store;
+  PwcetOptions options;
+  options.engine = WcetEngine::kTree;
+  options.max_distribution_points = 64;  // visible coalescing
+  options.store = &store;
+  const PwcetPipeline pipeline(p, {std::make_shared<IcacheDomain>(c)},
+                               options);
+
+  std::vector<std::vector<Address>> traces;
+  traces.reserve(paths.size());
+  for (const auto& path : paths)
+    traces.push_back(fetch_trace(p.cfg(), path));
+
+  const std::vector<FaultMap> maps = all_fault_maps(c);
+  for (const Mechanism mech :
+       {Mechanism::kNone, Mechanism::kReliableWay,
+        Mechanism::kSharedReliableBuffer}) {
+    std::vector<double> worst(maps.size(), 0.0);
+    for (std::size_t m = 0; m < maps.size(); ++m) {
+      if (mech == Mechanism::kReliableWay && touches_hardened_way(maps[m], c))
+        continue;
+      for (const auto& trace : traces)
+        worst[m] = std::max(
+            worst[m], static_cast<double>(
+                          simulate_trace(c, maps[m], mech, trace).cycles));
+    }
+
+    for (const double pfail : {0.001, 0.01, 0.1, 0.25, 0.5}) {
+      const FaultModel faults(pfail);
+      const double pbf = faults.block_failure_probability(c);
+      std::vector<ProbabilityAtom> atoms;
+      for (std::size_t m = 0; m < maps.size(); ++m) {
+        if (mech == Mechanism::kReliableWay &&
+            touches_hardened_way(maps[m], c))
+          continue;
+        atoms.push_back({static_cast<Cycles>(worst[m]),
+                         map_probability(maps[m], c, mech, pbf)});
+      }
+      const DiscreteDistribution exact =
+          DiscreteDistribution::from_atoms(atoms);
+
+      const PwcetResult result = pipeline.analyze(faults, mech);
       const DiscreteDistribution analytic =
           result.penalty.shift(result.fault_free_wcet);
       EXPECT_TRUE(analytic.dominates(exact, 1e-9))

@@ -331,6 +331,29 @@ TEST_F(ObsTest, StructuralCountersAreDeterministicForSerialColdRuns) {
   EXPECT_GT(set_penalty, 0u);
 }
 
+TEST_F(ObsTest, SerialQueueWaitIsBoundedByTheCampaignWall) {
+  // Regression: engine.queue_wait once measured every group from the bulk
+  // enqueue instant, so a serial campaign's backlog counted as "wait" and
+  // the histogram summed to ~6x the wall clock (a 1.68s run reported a
+  // 9.96s median). The wait of a group is the time it sat runnable with
+  // an idle worker — on a serial run those gaps are scheduler overhead
+  // only, so their *sum* must stay below the campaign wall clock.
+  RunnerOptions options;
+  options.threads = 1;
+  AnalysisStore store;
+  options.shared_store = &store;
+  obs::MetricsRegistry::instance().enable();
+  const CampaignResult result = run_campaign(tiny_spec(), options);
+  obs::MetricsRegistry::instance().disable();
+
+  const auto waits =
+      obs::MetricsRegistry::instance().histogram("engine.queue_wait")
+          .snapshot();
+  ASSERT_GT(waits.count, 0u);  // one sample per analyzer group
+  const double wall_ns = result.wall_seconds * 1e9;
+  EXPECT_LT(static_cast<double>(waits.sum_ns), wall_ns);
+}
+
 TEST_F(ObsTest, ReportsAreByteIdenticalWithObservabilityOnOrOff) {
   const CampaignSpec spec = tiny_spec();
 

@@ -3,7 +3,10 @@
 // (paper Fig. 1.b).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "prob/binomial.hpp"
 #include "prob/discrete_distribution.hpp"
@@ -233,6 +236,132 @@ TEST(Distribution, ExceedanceAccumulatesTinyTails) {
   const auto d = DiscreteDistribution::from_atoms(
       {{0, 1.0 - 1e-30}, {1000, 1e-30}});
   EXPECT_NEAR(d.exceedance(500), 1e-30, 1e-36);
+}
+
+// ---- the convolve fast path ------------------------------------------------
+
+/// The historical convolve, verbatim: generate all pair products a-major /
+/// b-minor, stable-sort by value, accumulate left to right. The shipped
+/// implementation (dense lattice buckets / streaming k-way merge) claims
+/// bit-identity with this ordering; these tests hold it to that.
+DiscreteDistribution reference_convolve(const DiscreteDistribution& a,
+                                        const DiscreteDistribution& b) {
+  std::vector<ProbabilityAtom> products;
+  products.reserve(a.size() * b.size());
+  for (const auto& x : a.atoms())
+    for (const auto& y : b.atoms())
+      products.push_back({x.value + y.value, x.probability * y.probability});
+  std::stable_sort(products.begin(), products.end(),
+                   [](const ProbabilityAtom& x, const ProbabilityAtom& y) {
+                     return x.value < y.value;
+                   });
+  std::vector<ProbabilityAtom> atoms;
+  for (const auto& product : products) {
+    if (!atoms.empty() && atoms.back().value == product.value)
+      atoms.back().probability += product.probability;
+    else
+      atoms.push_back(product);
+  }
+  std::erase_if(atoms,
+                [](const ProbabilityAtom& a) { return a.probability == 0.0; });
+  return DiscreteDistribution::from_canonical_atoms(std::move(atoms));
+}
+
+/// A random distribution on the lattice {base + stride * k}; mimics the
+/// penalty shapes the analysis produces (values = multiples of the miss
+/// penalty).
+DiscreteDistribution random_lattice_distribution(Rng& rng, Cycles stride,
+                                                 std::size_t max_atoms) {
+  const std::size_t count = 1 + rng.next_below(max_atoms);
+  std::vector<ProbabilityAtom> atoms;
+  double mass = 0.0;
+  Cycles value = static_cast<Cycles>(rng.next_below(50)) * stride;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double p = rng.next_double() + 1e-3;
+    atoms.push_back({value, p});
+    mass += p;
+    value += static_cast<Cycles>(1 + rng.next_below(20)) * stride;
+  }
+  for (auto& a : atoms) a.probability /= mass;
+  return DiscreteDistribution::from_atoms(std::move(atoms));
+}
+
+TEST(Distribution, ConvolveBitIdenticalToReferenceOnLattices) {
+  // The dense-bucket path (lattice supports, the analysis workload).
+  Rng rng(0xc0417e5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Cycles stride = static_cast<Cycles>(1 + rng.next_below(40));
+    const auto a = random_lattice_distribution(rng, stride, 64);
+    const auto b = random_lattice_distribution(rng, stride, 64);
+    ASSERT_EQ(a.convolve(b), reference_convolve(a, b));
+  }
+}
+
+TEST(Distribution, ConvolveBitIdenticalToReferenceOffLattice) {
+  // Mixed strides (gcd collapses to small values or 1) still bucket
+  // densely; the scatter path must match the reference too.
+  Rng rng(0x0ffb347);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_lattice_distribution(
+        rng, static_cast<Cycles>(1 + rng.next_below(7)), 48);
+    const auto b = random_lattice_distribution(
+        rng, static_cast<Cycles>(1 + rng.next_below(5)), 48);
+    ASSERT_EQ(a.convolve(b), reference_convolve(a, b));
+  }
+}
+
+TEST(Distribution, ConvolveAdversariallyWideInputs) {
+  // Values spread over a 2^40 range with gcd 1: a dense accumulator would
+  // need ~10^12 buckets, so this must take the streaming merge path — the
+  // regression test for the old unchecked reserve(n * m), which on inputs
+  // like these requested absurd allocations proportional to the product
+  // rather than the output. Bit-identity with the reference still holds.
+  Rng rng(0x51deb00c);
+  std::vector<ProbabilityAtom> wide_a, wide_b;
+  double mass_a = 0.0, mass_b = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const double pa = rng.next_double() + 1e-3;
+    const double pb = rng.next_double() + 1e-3;
+    wide_a.push_back(
+        {static_cast<Cycles>(rng.next_below(std::uint64_t{1} << 40)), pa});
+    wide_b.push_back(
+        {static_cast<Cycles>(rng.next_below(std::uint64_t{1} << 40)) | 1,
+         pb});
+    mass_a += pa;
+    mass_b += pb;
+  }
+  for (auto& a : wide_a) a.probability /= mass_a;
+  for (auto& b : wide_b) b.probability /= mass_b;
+  const auto a = DiscreteDistribution::from_atoms(std::move(wide_a));
+  const auto b = DiscreteDistribution::from_atoms(std::move(wide_b));
+  const auto fast = a.convolve(b);
+  EXPECT_EQ(fast, reference_convolve(a, b));
+  EXPECT_NEAR(fast.total_mass(), 1.0, 1e-9);
+  EXPECT_EQ(fast.max_value(), a.max_value() + b.max_value());
+}
+
+TEST(Distribution, ConvolveAllTreeSharedMatchesExpandedTree) {
+  // The deduplicating tree must be bit-identical to convolve_all_tree on
+  // the expanded leaf list, for every leaf multiplicity pattern — odd
+  // counts included (the pass-through leg).
+  Rng rng(0xdedu);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t distinct_count = 1 + rng.next_below(5);
+    std::vector<DiscreteDistribution> distinct;
+    for (std::size_t i = 0; i < distinct_count; ++i)
+      distinct.push_back(random_lattice_distribution(rng, 10, 8));
+    const std::size_t leaves = 1 + rng.next_below(33);
+    std::vector<std::uint32_t> ids;
+    std::vector<DiscreteDistribution> expanded;
+    for (std::size_t s = 0; s < leaves; ++s) {
+      ids.push_back(
+          static_cast<std::uint32_t>(rng.next_below(distinct_count)));
+      expanded.push_back(distinct[ids.back()]);
+    }
+    const std::size_t max_points = 2 + rng.next_below(64);
+    ASSERT_EQ(convolve_all_tree_shared(distinct, ids, max_points),
+              convolve_all_tree(expanded, max_points));
+  }
 }
 
 }  // namespace
