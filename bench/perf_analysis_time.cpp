@@ -16,6 +16,9 @@
 //                    (memo hit-rate, warm speedup)
 //   pfail_sweep      the 126-job pfail sweep (pfail_sweep_spec()), serial
 //                    + cold — the shared re-weighting bundle's workload
+//   shard_merge      the same sweep as 3 serial shard runs into per-shard
+//                    cache dirs + `merge` with store union; the merged
+//                    report must be byte-identical to pfail_sweep's
 //
 // Every run's report is byte-identity-checked against the first serial
 // report on the spot (the determinism acceptance check; a drift fails the
@@ -25,8 +28,11 @@
 // and a "metrics" block adds the per-scenario robust statistics. For
 // scenario-level micro benches and the regression gate, use `pwcet bench
 // run` / `pwcet bench diff` (docs/benchmarking.md).
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +42,7 @@
 #include "benchlib/scenario.hpp"
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
+#include "engine/shard.hpp"
 #include "obs/phase.hpp"
 #include "obs/tracer.hpp"
 #include "store/analysis_store.hpp"
@@ -211,6 +218,44 @@ int main() {
             pfail_identity.check(result);
           }));
 
+  // The same pfail sweep distributed: 3 shard runs into per-shard cache
+  // directories + the merge with store union, timed end to end (fragment
+  // I/O and union copies included — the real cost of distributing this
+  // campaign across 3 workers, minus the wall-clock win of actually
+  // running them concurrently). The merged report shares pfail_identity's
+  // baseline: merge output must be byte-identical to the single-process
+  // pfail sweep, checked on every repetition.
+  std::size_t shard_merge_jobs = 0;
+  const benchlib::ScenarioReport shard_merge =
+      benchlib::summarize_scenario(benchlib::run_scenario(
+          "shard_merge", unobserved, [&](benchlib::Recorder&) {
+            namespace fs = std::filesystem;
+            const fs::path root =
+                fs::temp_directory_path() /
+                ("pwcet_perf_shard_" + std::to_string(::getpid()));
+            std::error_code ec;
+            fs::remove_all(root, ec);  // cold per repetition
+            ShardMergeOptions merge;
+            merge.shard_count = 3;
+            for (std::size_t i = 0; i < merge.shard_count; ++i) {
+              const std::string dir =
+                  (root / ("shard" + std::to_string(i))).string();
+              ShardSelector shard;
+              shard.index = i;
+              shard.count = merge.shard_count;
+              RunnerOptions runner;
+              runner.threads = 1;
+              run_campaign_shard(pfail_spec, shard, runner, dir);
+              merge.from_dirs.push_back(dir);
+            }
+            merge.into_dir = (root / "union").string();
+            const ShardMergeOutcome merged =
+                merge_campaign_shards(pfail_spec, merge);
+            shard_merge_jobs = merged.campaign.results.size();
+            pfail_identity.check(merged.campaign);
+            fs::remove_all(root, ec);
+          }));
+
   const char* phase_names[] = {
       obs::phase_name::kCore,     obs::phase_name::kExtract,
       obs::phase_name::kClassify, obs::phase_name::kMaximize,
@@ -234,8 +279,9 @@ int main() {
   const double cold_s = median_ms(store_effect, "cold_ns") / 1e3;
   const double warm_s = median_ms(store_effect, "warm_ns") / 1e3;
   const double pfail_s = median_ms(pfail_sweep, "wall_ns") / 1e3;
-  const std::string metrics =
-      metrics_json({serial, observed, wide, store_effect, pfail_sweep});
+  const double shard_merge_s = median_ms(shard_merge, "wall_ns") / 1e3;
+  const std::string metrics = metrics_json(
+      {serial, observed, wide, store_effect, pfail_sweep, shard_merge});
 
   std::string line(2048 + metrics.size(), '\0');
   const int written = std::snprintf(
@@ -251,6 +297,7 @@ int main() {
       "\"store_warm_hits\":%llu,\"store_warm_misses\":%llu,"
       "\"store_warm_hit_rate\":%.3f,\"store_memo_entries\":%llu,"
       "\"pfail_sweep_jobs\":%zu,\"wall_seconds_pfail_sweep\":%.6f,"
+      "\"shard_merge_jobs\":%zu,\"wall_seconds_shard_merge\":%.6f,"
       "\"phases_ms\":%s,\"obs_overhead_ratio\":%.3f,"
       "\"metrics\":%s,"
       "\"reports_identical\":%s}\n",
@@ -265,7 +312,8 @@ int main() {
       static_cast<unsigned long long>(captured.warm.misses),
       captured.warm.hit_rate(),
       static_cast<unsigned long long>(captured.warm.entries), pfail_jobs,
-      pfail_s, phases.c_str(), serial_s > 0.0 ? observed_s / serial_s : 0.0,
+      pfail_s, shard_merge_jobs, shard_merge_s, phases.c_str(),
+      serial_s > 0.0 ? observed_s / serial_s : 0.0,
       metrics.c_str(),
       identity.identical && pfail_identity.identical ? "true" : "false");
   line.resize(written > 0 ? static_cast<std::size_t>(written) : 0);

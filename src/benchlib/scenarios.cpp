@@ -1,5 +1,8 @@
 #include "benchlib/scenario.hpp"
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <tuple>
@@ -11,6 +14,7 @@
 #include "core/pwcet_analyzer.hpp"
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
+#include "engine/shard.hpp"
 #include "store/analysis_store.hpp"
 #include "wcet/cost_model.hpp"
 #include "wcet/ipet.hpp"
@@ -185,6 +189,59 @@ std::vector<Scenario> builtin_scenarios() {
                run_campaign(pfail_sweep_spec(), runner);
            identity->check(report_csv(result),
                            "campaign.pfail_sweep.warm");
+         }});
+  }
+
+  // ---- macro: distributed shard runs + merge ------------------------------
+  // The pfail sweep split into 3 shard runs (each writing its fragment
+  // into its own cache directory) plus the merge that reassembles and
+  // unions them — the end-to-end cost of distributing this campaign.
+  // Setup computes the single-process baseline once; every repetition's
+  // merged report must reproduce those bytes exactly (the sharding
+  // determinism contract, checked in the loop, not just in tests).
+  {
+    auto identity = std::make_shared<IdentityCheck>();
+    scenarios.push_back(
+        {"campaign.shard_merge",
+         "pfail-sweep campaign as 3 shard runs into per-shard cache dirs "
+         "+ merge with store union; merged report byte-checked against "
+         "the single-process baseline",
+         [identity](const ScenarioOptions& options) {
+           AnalysisStore store;
+           RunnerOptions runner;
+           runner.threads = options.threads;
+           runner.shared_store = &store;
+           identity->check(
+               report_csv(run_campaign(pfail_sweep_spec(), runner)),
+               "campaign.shard_merge");
+         },
+         [identity](Recorder&, const ScenarioOptions& options) {
+           namespace fs = std::filesystem;
+           const fs::path root =
+               fs::temp_directory_path() /
+               ("pwcet_bench_shard_" + std::to_string(::getpid()));
+           std::error_code ec;
+           fs::remove_all(root, ec);  // cold cache dirs every repetition
+           const CampaignSpec spec = pfail_sweep_spec();
+           ShardMergeOptions merge;
+           merge.shard_count = 3;
+           for (std::size_t i = 0; i < merge.shard_count; ++i) {
+             const std::string dir =
+                 (root / ("shard" + std::to_string(i))).string();
+             ShardSelector shard;
+             shard.index = i;
+             shard.count = merge.shard_count;
+             RunnerOptions runner;
+             runner.threads = options.threads;
+             run_campaign_shard(spec, shard, runner, dir);
+             merge.from_dirs.push_back(dir);
+           }
+           merge.into_dir = (root / "union").string();
+           const ShardMergeOutcome merged =
+               merge_campaign_shards(spec, merge);
+           identity->check(report_csv(merged.campaign),
+                           "campaign.shard_merge");
+           fs::remove_all(root, ec);
          }});
   }
 

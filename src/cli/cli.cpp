@@ -24,6 +24,7 @@
 #include "engine/names.hpp"
 #include "engine/report.hpp"
 #include "engine/runner.hpp"
+#include "engine/shard.hpp"
 #include "engine/spec_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -50,6 +51,11 @@ constexpr const char* kUsage =
     "      --output BASE     write BASE.csv and BASE.jsonl (plus\n"
     "                        BASE.dist.{csv,jsonl} for distribution\n"
     "                        campaigns) instead of printing the report\n"
+    "      --shard i/N       run only shard i of an N-way partition\n"
+    "                        (whole analyzer groups, spec-key-stable) and\n"
+    "                        write a fragment artifact into the cache dir\n"
+    "                        (requires --cache-dir or PWCET_CACHE_DIR);\n"
+    "                        reassemble with pwcet merge\n"
     "      --trace-out FILE  record phase/engine spans and write them as\n"
     "                        Chrome trace-event JSON (open in Perfetto)\n"
     "      --metrics-out FILE\n"
@@ -60,7 +66,23 @@ constexpr const char* kUsage =
     "      --progress        live completed/total counter with ETA on\n"
     "                        stderr (only when stderr is a terminal;\n"
     "                        --progress=force overrides)\n"
+    "  merge <spec.json>     combine the per-shard outputs of a sharded\n"
+    "                        campaign into the byte-identical\n"
+    "                        single-process report\n"
+    "      --from DIR        a shard's cache directory (repeatable; also\n"
+    "                        accepts a comma-separated list)\n"
+    "      --into DIR        union the shards' artifact stores into DIR\n"
+    "                        and publish the merged campaign artifacts\n"
+    "                        there (same-key-different-bytes collisions\n"
+    "                        are hard errors)\n"
+    "      --shards N        expected shard count (default: inferred;\n"
+    "                        required when the directories hold fragments\n"
+    "                        of several partitions)\n"
+    "      --format FMT      stdout report format (as for run)\n"
+    "      --output BASE     write report files (as for run)\n"
     "  describe <spec.json>  print the expanded job grid without running\n"
+    "      --shards N        also show each job's shard under an N-way\n"
+    "                        partition (deterministic, spec-key-stable)\n"
     "  list                  built-in tasks, mechanisms, engines, kinds\n"
     "  cache stats|clear     inspect or empty an artifact cache directory\n"
     "      --cache-dir DIR   cache directory (default: $PWCET_CACHE_DIR)\n"
@@ -134,6 +156,23 @@ bool parse_threads(const std::string& text, std::size_t& threads,
   err << "pwcet: --threads wants an integer in 0.." << kMaxCampaignThreads
       << ", got '" << text << "'\n";
   return false;
+}
+
+/// Parses `--shards N` (describe, merge): an integer in 1..kMaxShardCount.
+bool parse_shard_count(const Flag& flag, std::size_t& count,
+                       std::ostream& err) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed =
+      std::strtoull(flag.value.c_str(), &end, 10);
+  if (flag.value.empty() || errno != 0 || end == nullptr || *end != '\0' ||
+      parsed == 0 || parsed > kMaxShardCount) {
+    err << "pwcet: --shards wants an integer in 1.." << kMaxShardCount
+        << ", got '" << flag.value << "'\n";
+    return false;
+  }
+  count = static_cast<std::size_t>(parsed);
+  return true;
 }
 
 std::string geometry_label(const CacheConfig& g) {
@@ -220,11 +259,20 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   bool profile = false;
   bool progress = false;
   bool progress_force = false;
+  ShardSelector shard;       // {0, 1} = the whole campaign
+  bool shard_given = false;  // --shard 1/1 still writes its fragment
   enum class StoreFlag { kDefault, kOn, kOff };
   StoreFlag store_flag = StoreFlag::kDefault;  // last --store wins
   for (const Flag& flag : flags) {
     if (flag.name == "--threads") {
       if (!parse_threads(flag.value, options.threads, err)) return 2;
+    } else if (flag.name == "--shard") {
+      if (!parse_shard_selector(flag.value, shard)) {
+        err << "pwcet: --shard wants i/N with 1 <= i <= N <= "
+            << kMaxShardCount << ", got '" << flag.value << "'\n";
+        return 2;
+      }
+      shard_given = true;
     } else if (flag.name == "--store") {
       if (flag.value == "on") {
         store_flag = StoreFlag::kOn;
@@ -312,6 +360,20 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
     options.shared_store = forced_store.get();
   }
 
+  // A shard run must land its fragment artifact somewhere `pwcet merge`
+  // can find it; the memo store being off (--store off) does not lift
+  // that requirement — the fragment travels independently.
+  std::string shard_cache_dir = options.store.artifact_dir;
+  if (shard_given && shard_cache_dir.empty()) {
+    const char* env_dir = std::getenv("PWCET_CACHE_DIR");
+    if (env_dir != nullptr && *env_dir != '\0') shard_cache_dir = env_dir;
+    if (shard_cache_dir.empty()) {
+      err << "pwcet: --shard needs a cache directory for its fragment "
+             "artifact: pass --cache-dir or set PWCET_CACHE_DIR\n";
+      return 2;
+    }
+  }
+
   const SpecDocument doc = load_spec(positionals[0]);
   if (format.rfind("dist-", 0) == 0 && doc.spec.ccdf_exceedances.empty()) {
     err << "pwcet: --format " << format << " needs a spec with "
@@ -325,15 +387,27 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   ObsSession obs_session;
   obs_session.arm(!trace_out.empty(), !metrics_out.empty() || profile);
 
+  const std::vector<CampaignJob> jobs = expand_campaign(doc.spec);
+  std::size_t expected_jobs = jobs.size();
+  if (shard_given)
+    expected_jobs =
+        shard_job_slots(campaign_group_schedule(jobs), shard).size();
+
   // --progress animates on stderr, so it must stay off when stderr is not
   // a terminal (redirected runs, every test) unless forced.
   obs::ProgressMeter meter(
-      expand_campaign(doc.spec).size(), err,
+      expected_jobs, err,
       progress && (progress_force || ::isatty(STDERR_FILENO) != 0));
   if (progress)
     options.on_job_finished = [&meter] { meter.job_finished(); };
 
-  const CampaignResult campaign = run_campaign(doc.spec, options);
+  CampaignResult campaign;
+  if (shard_given) {
+    campaign = shard_view(
+        run_campaign_shard(doc.spec, shard, options, shard_cache_dir));
+  } else {
+    campaign = run_campaign(doc.spec, options);
+  }
   meter.finish();
 
   if (obs_session.tracing) {
@@ -370,6 +444,10 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   }
 
   // Progress summary on stderr so stdout stays byte-clean for diffing.
+  if (shard_given)
+    err << "[shard " << (shard.index + 1) << "/" << shard.count << ": "
+        << campaign.results.size() << " of " << jobs.size()
+        << " jobs; fragment -> " << shard_cache_dir << "]\n";
   err << "[" << campaign.results.size() << " jobs on "
       << campaign.threads_used << " threads in " << fmt_double(
              campaign.wall_seconds, 2)
@@ -395,6 +473,122 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+// ---- pwcet merge ----------------------------------------------------------
+
+int cmd_merge(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  std::vector<std::string> positionals;
+  std::vector<Flag> flags;
+  if (!split_args(args, positionals, flags, err)) return 2;
+  if (positionals.size() != 1) {
+    err << "pwcet: merge wants exactly one spec file\n" << kUsage;
+    return 2;
+  }
+
+  ShardMergeOptions merge_options;
+  std::string format = "csv";
+  bool format_set = false;
+  std::string output;
+  for (const Flag& flag : flags) {
+    if (flag.name == "--from") {
+      // Repeatable, and each occurrence may carry a comma-separated list
+      // (convenient in CI: --from "a,b,c" from a matrix variable).
+      std::size_t start = 0;
+      while (start <= flag.value.size()) {
+        const std::size_t comma = flag.value.find(',', start);
+        const std::string dir =
+            comma == std::string::npos
+                ? flag.value.substr(start)
+                : flag.value.substr(start, comma - start);
+        if (!dir.empty()) merge_options.from_dirs.push_back(dir);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (flag.name == "--into") {
+      merge_options.into_dir = flag.value;
+    } else if (flag.name == "--shards") {
+      if (!parse_shard_count(flag, merge_options.shard_count, err)) return 2;
+    } else if (flag.name == "--format") {
+      if (flag.value != "csv" && flag.value != "jsonl" &&
+          flag.value != "table" && flag.value != "dist-csv" &&
+          flag.value != "dist-jsonl" && flag.value != "dist-table") {
+        err << "pwcet: --format wants csv|jsonl|table|dist-csv|dist-jsonl|"
+               "dist-table, got '"
+            << flag.value << "'\n";
+        return 2;
+      }
+      format = flag.value;
+      format_set = true;
+    } else if (flag.name == "--output") {
+      output = flag.value;
+    } else {
+      err << "pwcet: unknown option '" << flag.name << "' for merge\n"
+          << kUsage;
+      return 2;
+    }
+  }
+  if (format_set && !output.empty()) {
+    err << "pwcet: --format and --output are mutually exclusive (--output "
+           "always writes BASE.csv and BASE.jsonl)\n";
+    return 2;
+  }
+  if (merge_options.from_dirs.empty()) {
+    err << "pwcet: merge wants at least one --from directory\n";
+    return 2;
+  }
+
+  const SpecDocument doc = load_spec(positionals[0]);
+  if (format.rfind("dist-", 0) == 0 && doc.spec.ccdf_exceedances.empty()) {
+    err << "pwcet: --format " << format << " needs a spec with "
+        << "\"ccdf_exceedances\" (this one has no distribution sink)\n";
+    return 1;
+  }
+
+  ShardMergeOutcome merged;
+  try {
+    merged = merge_campaign_shards(doc.spec, merge_options);
+  } catch (const ShardMergeError& e) {
+    err << "pwcet: " << e.what() << "\n";
+    return 1;
+  }
+  const CampaignResult& campaign = merged.campaign;
+
+  if (!output.empty()) {
+    if (!write_report_files(campaign, output)) {
+      err << "pwcet: failed to write " << output << ".{csv,jsonl}\n";
+      return 1;
+    }
+  } else if (format == "csv") {
+    out << report_csv(campaign);
+  } else if (format == "jsonl") {
+    out << report_jsonl(campaign);
+  } else if (format == "table") {
+    out << report_table(campaign).to_string();
+  } else if (format == "dist-csv") {
+    out << report_dist_csv(campaign);
+  } else if (format == "dist-jsonl") {
+    out << report_dist_jsonl(campaign);
+  } else {
+    out << report_dist_table(campaign).to_string();
+  }
+
+  // Same stderr/stdout split as run: the summary never lands in the report.
+  err << "[merged " << merged.shard_count << " shards: "
+      << campaign.results.size() << " jobs";
+  if (!merge_options.into_dir.empty())
+    err << "; store union -> " << merge_options.into_dir << ": "
+        << merged.artifacts_copied << " copied / "
+        << merged.artifacts_identical << " identical";
+  err << "]\n";
+  if (!output.empty()) {
+    err << "wrote " << output << ".csv and " << output << ".jsonl";
+    if (!doc.spec.ccdf_exceedances.empty())
+      err << " (+ " << output << ".dist.{csv,jsonl})";
+    err << "\n";
+  }
+  return 0;
+}
+
 // ---- pwcet describe -------------------------------------------------------
 
 int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
@@ -402,9 +596,14 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
   std::vector<std::string> positionals;
   std::vector<Flag> flags;
   if (!split_args(args, positionals, flags, err)) return 2;
-  if (!flags.empty()) {
-    err << "pwcet: describe takes no options\n";
-    return 2;
+  std::size_t shard_count = 0;  // 0 = no shard column
+  for (const Flag& flag : flags) {
+    if (flag.name == "--shards") {
+      if (!parse_shard_count(flag, shard_count, err)) return 2;
+    } else {
+      err << "pwcet: unknown option '" << flag.name << "' for describe\n";
+      return 2;
+    }
   }
   if (positionals.size() != 1) {
     err << "pwcet: describe wants exactly one spec file\n" << kUsage;
@@ -446,8 +645,18 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
   // Each cache-domain axis gets its own geometry column so a grid mixing
   // TLB and L2 cells stays readable: the dcache label carries a "-wb<N>"
   // write-back marker, the TLB label spells entries/ways/page size.
-  TextTable table({"#", "task", "geometry", "dcache", "tlb", "l2", "pfail",
-                   "mech", "dmech", "engine", "kind", "samples", "seed"});
+  // --shards N appends each job's shard under the N-way partition —
+  // the same spec-key-stable assignment `run --shard` executes.
+  std::vector<std::string> headers = {"#",     "task", "geometry", "dcache",
+                                      "tlb",   "l2",   "pfail",    "mech",
+                                      "dmech", "engine", "kind", "samples",
+                                      "seed"};
+  if (shard_count > 0) headers.push_back("shard");
+  std::vector<std::size_t> assignment;
+  if (shard_count > 0)
+    assignment = shard_assignment(campaign_group_schedule(jobs), jobs.size(),
+                                  shard_count);
+  TextTable table(std::move(headers));
   const auto dcache_label = [](const DcacheAxis& d) {
     if (!d.enabled) return std::string("-");
     std::string label = geometry_label(d.geometry);
@@ -460,15 +669,20 @@ int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
     return std::to_string(t.entries) + "e" + std::to_string(t.ways) + "w" +
            std::to_string(t.page_bytes) + "B";
   };
-  for (const CampaignJob& job : jobs)
-    table.add_row(
-        {std::to_string(job.index), job.task, geometry_label(job.geometry),
-         dcache_label(job.dcache), tlb_label(job.tlb),
-         job.l2.enabled ? geometry_label(job.l2.geometry) : "-",
-         fmt_prob(job.pfail), mechanism_name(job.mechanism),
-         job.dcache.enabled ? dcache_mechanism_name(job.dmech) : "-",
-         engine_name(job.engine), analysis_kind_name(job.kind),
-         std::to_string(job.samples), std::to_string(job.seed)});
+  for (const CampaignJob& job : jobs) {
+    std::vector<std::string> row = {
+        std::to_string(job.index), job.task, geometry_label(job.geometry),
+        dcache_label(job.dcache), tlb_label(job.tlb),
+        job.l2.enabled ? geometry_label(job.l2.geometry) : "-",
+        fmt_prob(job.pfail), mechanism_name(job.mechanism),
+        job.dcache.enabled ? dcache_mechanism_name(job.dmech) : "-",
+        engine_name(job.engine), analysis_kind_name(job.kind),
+        std::to_string(job.samples), std::to_string(job.seed)};
+    if (shard_count > 0)
+      row.push_back(std::to_string(assignment[job.index] + 1) + "/" +
+                    std::to_string(shard_count));
+    table.add_row(std::move(row));
+  }
   out << table.to_string();
   return 0;
 }
@@ -652,7 +866,8 @@ int cmd_cache(const std::vector<std::string>& args, std::ostream& out,
   namespace fs = std::filesystem;
   std::error_code ec;
   if (!fs::exists(dir, ec)) {
-    out << "cache directory " << dir << " does not exist (nothing cached)\n";
+    out << "cache directory " << dir
+        << " does not exist (nothing cached; 0 artifacts)\n";
     if (!metrics_file.empty())
       return render_store_counters(metrics_file, out, err) ? 0 : 1;
     return 0;
@@ -989,6 +1204,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   try {
     if (command == "run") return cmd_run(rest, out, err);
+    if (command == "merge") return cmd_merge(rest, out, err);
     if (command == "describe") return cmd_describe(rest, out, err);
     if (command == "list") return cmd_list(rest, out, err);
     if (command == "cache") return cmd_cache(rest, out, err);

@@ -2,8 +2,10 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <string_view>
 
 #include "support/json.hpp"
@@ -30,9 +32,9 @@ std::string fmt_u64(std::uint64_t value) {
 /// quoting decision cannot drift from the column order.
 ///
 /// The numeric tail (wcet_ff .. bound_misses_1) is also parsed back by
-/// engine/runner.cpp's parse_campaign_report when a persisted campaign
-/// report is loaded; renaming or reordering those columns breaks that
-/// parse — store_test's CampaignWarmFromDiskIsByteIdentical (which
+/// parse_campaign_report_rows below when a persisted campaign report or a
+/// shard fragment is loaded; renaming or reordering those columns breaks
+/// that parse — store_test's CampaignWarmFromDiskIsByteIdentical (which
 /// asserts zero recomputation on a warm run) catches the drift.
 struct Column {
   const char* name;
@@ -217,13 +219,107 @@ std::string report_dist_csv(const CampaignResult& campaign) {
   return report_dist_table(campaign).to_csv();
 }
 
-std::string report_dist_jsonl(const CampaignResult& campaign) {
+std::string report_jsonl_row(const CampaignResult& campaign,
+                             const JobResult& result) {
+  return render_jsonl_row(kColumns, std::size(kColumns),
+                          report_row(campaign, result));
+}
+
+std::string report_dist_jsonl_rows(const CampaignResult& campaign,
+                                   const JobResult& result) {
   static constexpr auto kDistColumns = make_dist_columns();
+  const std::vector<Probability>& points = campaign.spec.ccdf_exceedances;
   std::string out;
-  each_dist_row(campaign, [&](std::vector<std::string> row) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::vector<std::string> row = job_row(result.job);
+    row.push_back(fmt_exact(points[i]));
+    row.push_back(fmt_exact(i < result.curve.size() ? result.curve[i]
+                                                    : 0.0));
     out += render_jsonl_row(kDistColumns.data(), kDistColumns.size(), row);
-  });
+  }
   return out;
+}
+
+std::string report_dist_jsonl(const CampaignResult& campaign) {
+  std::string out;
+  for (const JobResult& result : campaign.results)
+    out += report_dist_jsonl_rows(campaign, result);
+  return out;
+}
+
+bool parse_campaign_report_rows(const std::string& payload,
+                                const std::vector<CampaignJob>& jobs,
+                                const std::vector<std::size_t>& slots,
+                                std::vector<JobResult>& results) {
+  std::istringstream lines(payload);
+  std::string line;
+  std::size_t row = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (row >= slots.size()) return false;
+    const std::size_t slot = slots[row];
+    if (slot >= jobs.size() || slot >= results.size()) return false;
+    const char* at = std::strstr(line.c_str(), "\"wcet_ff\":");
+    if (at == nullptr) return false;
+    long long wcet_ff = 0;
+    double pwcet = 0.0, observed_max = 0.0, penalty_mean = 0.0;
+    unsigned long long penalty_points = 0;
+    unsigned long long fetches = 0, srb_hits = 0;
+    unsigned long long sim_misses = 0, bound_misses = 0;
+    unsigned long long sim_misses_1 = 0, bound_misses_1 = 0;
+    if (std::sscanf(at,
+                    "\"wcet_ff\":%lld,\"pwcet\":%lf,\"observed_max\":%lf,"
+                    "\"penalty_mean\":%lf,\"penalty_points\":%llu,"
+                    "\"fetches\":%llu,\"srb_hits\":%llu,"
+                    "\"sim_misses\":%llu,\"bound_misses\":%llu,"
+                    "\"sim_misses_1\":%llu,\"bound_misses_1\":%llu}",
+                    &wcet_ff, &pwcet, &observed_max, &penalty_mean,
+                    &penalty_points, &fetches, &srb_hits, &sim_misses,
+                    &bound_misses, &sim_misses_1, &bound_misses_1) != 11)
+      return false;
+    JobResult& result = results[slot];
+    result.job = jobs[slot];
+    result.fault_free_wcet = static_cast<Cycles>(wcet_ff);
+    result.pwcet = pwcet;
+    result.observed_max = observed_max;
+    result.penalty_mean = penalty_mean;
+    result.penalty_points = static_cast<std::size_t>(penalty_points);
+    result.fetches = fetches;
+    result.srb_hits = srb_hits;
+    result.sim_misses = sim_misses;
+    result.bound_misses = bound_misses;
+    result.sim_misses_1 = sim_misses_1;
+    result.bound_misses_1 = bound_misses_1;
+    ++row;
+  }
+  return row == slots.size();
+}
+
+bool parse_campaign_dist_rows(const std::string& payload, std::size_t points,
+                              const std::vector<std::size_t>& slots,
+                              std::vector<JobResult>& results) {
+  if (points == 0) return payload.empty();
+  std::istringstream lines(payload);
+  std::string line;
+  std::size_t row = 0;
+  const std::size_t total = slots.size() * points;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (row >= total) return false;
+    const std::size_t slot = slots[row / points];
+    if (slot >= results.size()) return false;
+    const char* at = std::strstr(line.c_str(), "\"exceedance\":");
+    if (at == nullptr) return false;
+    double exceedance = 0.0, value = 0.0;
+    if (std::sscanf(at, "\"exceedance\":%lf,\"value\":%lf}", &exceedance,
+                    &value) != 2)
+      return false;
+    JobResult& result = results[slot];
+    if (result.curve.size() != points) result.curve.assign(points, 0.0);
+    result.curve[row % points] = value;
+    ++row;
+  }
+  return row == total;
 }
 
 bool write_report_files(const CampaignResult& campaign,

@@ -41,6 +41,38 @@ std::string report_csv(const CampaignResult& campaign);
 /// The whole campaign as JSON lines (one object per job, no header).
 std::string report_jsonl(const CampaignResult& campaign);
 
+/// One job's scalar report row as a single JSONL object line (trailing
+/// newline included) — the unit that campaign-shard fragments carry
+/// (engine/shard.hpp).
+std::string report_jsonl_row(const CampaignResult& campaign,
+                             const JobResult& result);
+
+/// One job's distribution-sink rows: spec.ccdf_exceedances.size() JSONL
+/// lines in point order; empty for scalar-only campaigns.
+std::string report_dist_jsonl_rows(const CampaignResult& campaign,
+                                   const JobResult& result);
+
+/// Rebuilds per-job numeric results from rendered scalar JSONL rows: one
+/// payload line per entry of `slots` (expansion-order job indices), in
+/// order. The job metadata columns need no parsing — expand_campaign
+/// reproduces them exactly — and the numeric tail was printed with
+/// round-tripping conversions ("%.17g" / decimal integers), so the
+/// reconstructed results render byte-identically to the originals. Used by
+/// the runner's whole-campaign warm load (slots = all jobs) and by the
+/// shard merge (slots = a fragment's covered rows). Returns false on any
+/// mismatch (row count, missing fields, slot out of range), in which case
+/// the caller recomputes or rejects the payload.
+bool parse_campaign_report_rows(const std::string& payload,
+                                const std::vector<CampaignJob>& jobs,
+                                const std::vector<std::size_t>& slots,
+                                std::vector<JobResult>& results);
+
+/// Same for rendered distribution-sink rows (`points` lines per slot,
+/// job-major): refills results[slot].curve.
+bool parse_campaign_dist_rows(const std::string& payload, std::size_t points,
+                              const std::vector<std::size_t>& slots,
+                              std::vector<JobResult>& results);
+
 /// Column names of the distribution-sink report, in order.
 std::vector<std::string> report_dist_columns();
 

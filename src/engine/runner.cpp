@@ -5,14 +5,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <future>
-#include <map>
 #include <memory>
+#include <numeric>
 #include <optional>
-#include <sstream>
-#include <tuple>
+#include <stdexcept>
 #include <utility>
 
 #include "analysis/dcache_domain.hpp"
@@ -25,6 +23,7 @@
 #include "core/pwcet_analyzer.hpp"
 #include "dcache/dcache_analysis.hpp"
 #include "engine/report.hpp"
+#include "engine/shard.hpp"
 #include "engine/thread_pool.hpp"
 #include "fault/fault_map.hpp"
 #include "icache/srb_analysis.hpp"
@@ -295,95 +294,30 @@ JobResult run_slack_job(const CampaignJob& job, const Program& program,
   return r;
 }
 
-/// Rebuilds the per-job numeric results from a persisted campaign-report
-/// JSONL payload (engine/report.cpp's fixed column layout — kColumns
-/// there cross-references this parser; drift is caught by store_test's
-/// warm-run zero-recompute assertion). The job metadata columns need no
-/// parsing — expand_campaign reproduces them exactly — and the numeric
-/// fields were printed with round-tripping conversions ("%.17g" /
-/// decimal integers), so the reconstructed results render byte-
-/// identically to the originals. Returns false on any mismatch (row
-/// count, missing fields), in which case the caller recomputes.
-bool parse_campaign_report(const std::string& payload,
-                           const std::vector<CampaignJob>& jobs,
-                           std::vector<JobResult>& results) {
-  std::istringstream lines(payload);
-  std::string line;
-  std::size_t row = 0;
-  while (std::getline(lines, line)) {
-    if (line.empty()) continue;
-    if (row >= jobs.size()) return false;
-    const char* at = std::strstr(line.c_str(), "\"wcet_ff\":");
-    if (at == nullptr) return false;
-    long long wcet_ff = 0;
-    double pwcet = 0.0, observed_max = 0.0, penalty_mean = 0.0;
-    unsigned long long penalty_points = 0;
-    unsigned long long fetches = 0, srb_hits = 0;
-    unsigned long long sim_misses = 0, bound_misses = 0;
-    unsigned long long sim_misses_1 = 0, bound_misses_1 = 0;
-    if (std::sscanf(at,
-                    "\"wcet_ff\":%lld,\"pwcet\":%lf,\"observed_max\":%lf,"
-                    "\"penalty_mean\":%lf,\"penalty_points\":%llu,"
-                    "\"fetches\":%llu,\"srb_hits\":%llu,"
-                    "\"sim_misses\":%llu,\"bound_misses\":%llu,"
-                    "\"sim_misses_1\":%llu,\"bound_misses_1\":%llu}",
-                    &wcet_ff, &pwcet, &observed_max, &penalty_mean,
-                    &penalty_points, &fetches, &srb_hits, &sim_misses,
-                    &bound_misses, &sim_misses_1, &bound_misses_1) != 11)
-      return false;
-    JobResult& result = results[row];
-    result.job = jobs[row];
-    result.fault_free_wcet = static_cast<Cycles>(wcet_ff);
-    result.pwcet = pwcet;
-    result.observed_max = observed_max;
-    result.penalty_mean = penalty_mean;
-    result.penalty_points = static_cast<std::size_t>(penalty_points);
-    result.fetches = fetches;
-    result.srb_hits = srb_hits;
-    result.sim_misses = sim_misses;
-    result.bound_misses = bound_misses;
-    result.sim_misses_1 = sim_misses_1;
-    result.bound_misses_1 = bound_misses_1;
-    ++row;
-  }
-  return row == jobs.size();
-}
-
-/// Rebuilds the per-job pWCET curves from a persisted distribution-sink
-/// payload (engine/report.cpp's dist layout: one row per (job, exceedance
-/// point), job-major). The curve values were printed with "%.17g", so the
-/// reconstruction renders byte-identically.
-bool parse_campaign_dist(const std::string& payload, std::size_t points,
-                         std::vector<JobResult>& results) {
-  std::istringstream lines(payload);
-  std::string line;
-  std::size_t row = 0;
-  const std::size_t total = results.size() * points;
-  while (std::getline(lines, line)) {
-    if (line.empty()) continue;
-    if (row >= total) return false;
-    const char* at = std::strstr(line.c_str(), "\"exceedance\":");
-    if (at == nullptr) return false;
-    double exceedance = 0.0, value = 0.0;
-    if (std::sscanf(at, "\"exceedance\":%lf,\"value\":%lf}", &exceedance,
-                    &value) != 2)
-      return false;
-    JobResult& result = results[row / points];
-    if (result.curve.size() != points) result.curve.assign(points, 0.0);
-    result.curve[row % points] = value;
-    ++row;
-  }
-  return row == total;
-}
-
 }  // namespace
 
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const RunnerOptions& options) {
   obs::ScopedPhase campaign_phase(obs::engine_name::kCampaign, "engine");
   const auto started = std::chrono::steady_clock::now();
+  if (options.shard.count == 0 ||
+      options.shard.count > kMaxShardCount ||
+      options.shard.index >= options.shard.count)
+    throw std::invalid_argument(
+        "run_campaign: shard selector out of range (index " +
+        std::to_string(options.shard.index) + ", count " +
+        std::to_string(options.shard.count) + ")");
+  const bool sharded = options.shard.count > 1;
   const std::vector<CampaignJob> jobs = expand_campaign(spec);
   obs::MetricsRegistry::instance().add("engine.jobs", jobs.size());
+
+  // The group schedule is shared with the shard partitioner
+  // (engine/shard.hpp) so the two can never drift; a shard executes the
+  // contiguous schedule-order range the partition rule assigns it.
+  const std::vector<std::vector<std::size_t>> schedule =
+      campaign_group_schedule(jobs);
+  const auto [shard_begin, shard_end] =
+      shard_group_range(schedule.size(), options.shard);
 
   // One store serves the whole campaign (callers can pass a longer-lived
   // one for warm reuse). Pool workers share it concurrently.
@@ -421,15 +355,20 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // semantics change; workload content is hashed into the key.
   if (disk) {
     obs::ScopedPhase warm_phase(obs::engine_name::kWarmLoad, "engine");
+    std::vector<std::size_t> all_slots(jobs.size());
+    std::iota(all_slots.begin(), all_slots.end(), 0);
     const std::optional<std::string> cached =
         store->artifacts()->load_text("campaign-report", spec_key);
-    bool complete = cached.has_value() &&
-                    parse_campaign_report(*cached, jobs, campaign.results);
+    bool complete =
+        cached.has_value() &&
+        parse_campaign_report_rows(*cached, jobs, all_slots,
+                                   campaign.results);
     if (complete && curve_points > 0) {
       const std::optional<std::string> dist =
           store->artifacts()->load_text("campaign-dist", spec_key);
       complete = dist.has_value() &&
-                 parse_campaign_dist(*dist, curve_points, campaign.results);
+                 parse_campaign_dist_rows(*dist, curve_points, all_slots,
+                                          campaign.results);
     }
     if (complete) {
       campaign.wall_seconds =
@@ -438,63 +377,32 @@ CampaignResult run_campaign(const CampaignSpec& spec,
               .count();
       campaign.store_stats = store->stats().since(stats_before);
       obs::MetricsRegistry::instance().add("engine.warm_loads");
-      // Every job is answered at once; keep progress consumers honest.
-      if (options.on_job_finished)
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-          options.on_job_finished();
+      // Every job is answered at once; keep progress consumers honest. A
+      // shard fires only for the jobs it owns — its progress total is the
+      // owned count, and the surplus rows stay filled (harmless: the
+      // fragment renders owned slots only).
+      if (options.on_job_finished) {
+        if (!sharded) {
+          for (std::size_t i = 0; i < jobs.size(); ++i)
+            options.on_job_finished();
+        } else {
+          for (std::size_t g = shard_begin; g < shard_end; ++g)
+            for (std::size_t i = 0; i < schedule[g].size(); ++i)
+              options.on_job_finished();
+        }
+      }
       return campaign;
     }
   }
 
   ThreadPool pool(options.threads);
 
-  // Group jobs that can share one analyzer / one program build. std::map
-  // keeps submission order deterministic.
-  std::map<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
-                      std::size_t, std::size_t>,
-           std::vector<std::size_t>>
-      groups;
-  for (const CampaignJob& job : jobs)
-    groups[{job.task_i, job.geometry_i, job.engine_i, job.dcache_i,
-            job.tlb_i, job.l2_i}]
-        .push_back(job.index);
-
-  // Cache-aware submission order: sort groups by their shared store-key
-  // prefix so groups that reuse the same memo entries (duplicate axis
-  // values, content-equal geometries) run adjacently and stay hot in the
-  // bounded LRU. The axis tuple breaks ties, keeping the order a pure
-  // function of the spec. Output is unaffected: slots are indexed.
-  std::vector<std::pair<StoreKey, std::vector<std::size_t>>> ordered;
-  ordered.reserve(groups.size());
-  for (auto& [key, members] : groups)
-    ordered.emplace_back(campaign_group_key(jobs[members.front()]),
-                         std::move(members));
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
-
-  // Within a group, run pfail-siblings back to back: cells differing only
-  // in pfail share the whole pfail-independent re-weighting bundle
-  // (analysis/pipeline.cpp), so ordering the mechanism axis outermost and
-  // pfail innermost lands every sibling on a bundle that is still hot.
-  // Expansion order puts pfail outside the mechanism axis, so without this
-  // the bundles would be cycled N_pfail times each. The sort key is a pure
-  // function of the spec; output is unaffected (slots are indexed).
-  for (auto& [key, members] : ordered)
-    std::stable_sort(members.begin(), members.end(),
-                     [&jobs](std::size_t a, std::size_t b) {
-                       const CampaignJob& x = jobs[a];
-                       const CampaignJob& y = jobs[b];
-                       return std::tie(x.kind_i, x.mechanism_i, x.dmech_i,
-                                       x.samples_i, x.pfail_i) <
-                              std::tie(y.kind_i, y.mechanism_i, y.dmech_i,
-                                       y.samples_i, y.pfail_i);
-                     });
-
   std::vector<std::future<void>> futures;
-  futures.reserve(ordered.size());
+  futures.reserve(shard_end - shard_begin);
   const bool observing = obs::Tracer::instance().enabled() ||
                          obs::MetricsRegistry::instance().enabled();
-  for (const auto& entry : ordered) {
+  for (std::size_t g = shard_begin; g < shard_end; ++g) {
+    const std::vector<std::size_t>& entry = schedule[g];
     // Submission timestamp, taken on the submitting thread. The group's
     // queue wait is the time it sat *runnable with an idle worker*: from
     // max(its own enqueue, the executing worker's previous group finish)
@@ -506,7 +414,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     const std::uint64_t submitted_ns = observing ? obs::monotonic_ns() : 0;
     futures.push_back(pool.submit([&spec, &jobs, &campaign, &pool, &options,
                                    store, submitted_ns, observing,
-                                   members = &entry.second] {
+                                   members = &entry] {
       // Monotonic finish time of the previous group task on this worker
       // thread; zero on a fresh thread. Stale values from an earlier
       // campaign in the same process are harmless — the clock is
@@ -606,8 +514,9 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     try {
       futures[g].get();
     } catch (...) {
-      const std::size_t job_index = *std::min_element(
-          ordered[g].second.begin(), ordered[g].second.end());
+      const std::vector<std::size_t>& members = schedule[shard_begin + g];
+      const std::size_t job_index =
+          *std::min_element(members.begin(), members.end());
       if (!first_error || job_index < first_error_job) {
         first_error = std::current_exception();
         first_error_job = job_index;
@@ -625,8 +534,10 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     // Disk tier: persist the whole campaign's JSONL report (and, for
     // distribution campaigns, the sink) under the spec's content key, so
     // an identical future campaign (any process) can be answered — and
-    // cross-checked — without recomputation.
-    if (disk) {
+    // cross-checked — without recomputation. A shard's results are
+    // incomplete by design, so it must not publish them as a whole
+    // campaign; `pwcet merge` persists the merged report instead.
+    if (disk && !sharded) {
       store->artifacts()->store_text("campaign-report", spec_key,
                                      report_jsonl(campaign));
       if (curve_points > 0)

@@ -35,6 +35,17 @@
 
 namespace pwcet {
 
+/// Selects one shard of an N-way campaign partition (engine/shard.hpp).
+/// The default {0, 1} is the whole campaign. Indices are 0-based here;
+/// the CLI spelling "--shard i/N" is 1-based.
+struct ShardSelector {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  friend bool operator==(const ShardSelector&, const ShardSelector&) =
+      default;
+};
+
 struct RunnerOptions {
   /// Worker threads; 0 = one per hardware thread.
   std::size_t threads = 0;
@@ -51,6 +62,17 @@ struct RunnerOptions {
   /// — this is how warm re-runs are measured (bench/perf_analysis_time)
   /// and how long-lived services would share a cache across campaigns.
   AnalysisStore* shared_store = nullptr;
+  /// Which shard of the campaign to execute. {0, 1} (the default) runs
+  /// everything. A proper shard runs only the analyzer groups its
+  /// contiguous schedule-order range owns (engine/shard.hpp's partition
+  /// rule), leaves every other result slot untouched, and skips the
+  /// whole-campaign report persist (its results are incomplete by
+  /// design); per-sub-problem memo/disk artifacts are still shared, and
+  /// `on_job_finished` fires only for owned jobs. Results for the owned
+  /// slots are byte-identical to a whole-campaign run — jobs carry
+  /// key-derived seeds and groups are self-contained, so a group computes
+  /// the same bytes wherever it runs.
+  ShardSelector shard;
   /// Observability hook: invoked once per completed job, from whichever
   /// thread finished it (the callee must be thread-safe). On the warm
   /// whole-campaign disk path it fires once per job after the load, so a

@@ -1,0 +1,575 @@
+#include "engine/shard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "engine/report.hpp"
+#include "store/artifact_store.hpp"
+#include "store/merge.hpp"
+
+namespace pwcet {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Parses one non-negative integer field ("name":123) out of a JSON meta
+/// line rendered by this file; false when absent or malformed.
+bool json_u64_field(const std::string& line, const char* name,
+                    std::uint64_t& out) {
+  std::string needle = "\"";
+  needle += name;
+  needle += "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  unsigned long long value = 0;
+  if (std::sscanf(line.c_str() + at + needle.size(), "%llu", &value) != 1)
+    return false;
+  out = value;
+  return true;
+}
+
+/// Parses a string field ("name":"...") — values rendered by this file
+/// never contain escapes, so scanning to the closing quote is exact.
+bool json_string_field(const std::string& line, const char* name,
+                       std::string& out) {
+  std::string needle = "\"";
+  needle += name;
+  needle += "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return false;
+  out = line.substr(begin, end - begin);
+  return true;
+}
+
+/// Compresses ascending slot indices into "a-b,c,d-e" range notation —
+/// shards own whole schedule-order groups, so runs are common and the
+/// meta line stays short even for huge campaigns.
+std::string render_slot_ranges(const std::vector<std::size_t>& slots) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < slots.size()) {
+    std::size_t j = i;
+    while (j + 1 < slots.size() && slots[j + 1] == slots[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    out += std::to_string(slots[i]);
+    if (j > i) {
+      out += '-';
+      out += std::to_string(slots[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+/// Inverse of render_slot_ranges; false on malformed text or a sequence
+/// that is not strictly ascending.
+bool parse_slot_ranges(const std::string& text,
+                       std::vector<std::size_t>& slots) {
+  slots.clear();
+  if (text.empty()) return true;  // an empty shard covers no slots
+  std::istringstream segments(text);
+  std::string segment;
+  while (std::getline(segments, segment, ',')) {
+    unsigned long long first = 0, last = 0;
+    char extra = '\0';
+    if (std::sscanf(segment.c_str(), "%llu-%llu%c", &first, &last,
+                    &extra) == 2) {
+      if (last < first) return false;
+    } else if (std::sscanf(segment.c_str(), "%llu%c", &first, &extra) == 1) {
+      last = first;
+    } else {
+      return false;
+    }
+    if (!slots.empty() && first <= slots.back()) return false;
+    for (unsigned long long s = first; s <= last; ++s)
+      slots.push_back(static_cast<std::size_t>(s));
+  }
+  return true;
+}
+
+/// Splits a payload's lines after the meta line into the scalar block
+/// (`report_lines` lines) and the dist block (the rest).
+bool split_fragment_rows(const std::string& payload,
+                         std::size_t report_lines, std::string& report_rows,
+                         std::string& dist_rows, std::size_t& dist_lines) {
+  std::istringstream lines(payload);
+  std::string line;
+  if (!std::getline(lines, line)) return false;  // meta line
+  report_rows.clear();
+  dist_rows.clear();
+  dist_lines = 0;
+  std::size_t row = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (row < report_lines) {
+      report_rows += line;
+      report_rows += '\n';
+    } else {
+      dist_rows += line;
+      dist_rows += '\n';
+      ++dist_lines;
+    }
+    ++row;
+  }
+  return row >= report_lines;
+}
+
+/// One scanned fragment: its parsed form plus provenance for diagnostics
+/// and duplicate detection.
+struct ScannedFragment {
+  ShardFragment fragment;
+  std::string path;     ///< artifact file, for error messages
+  std::string payload;  ///< raw bytes, for duplicate comparison
+};
+
+}  // namespace
+
+bool parse_shard_selector(const std::string& text, ShardSelector& shard) {
+  unsigned long long index = 0, count = 0;
+  char extra = '\0';
+  if (std::sscanf(text.c_str(), "%llu/%llu%c", &index, &count, &extra) != 2)
+    return false;
+  if (index < 1 || count < 1 || index > count || count > kMaxShardCount)
+    return false;
+  shard.index = static_cast<std::size_t>(index - 1);
+  shard.count = static_cast<std::size_t>(count);
+  return true;
+}
+
+std::vector<std::vector<std::size_t>> campaign_group_schedule(
+    const std::vector<CampaignJob>& jobs) {
+  // Group jobs that can share one analyzer / one program build. std::map
+  // keeps the pre-sort order deterministic.
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                      std::size_t, std::size_t>,
+           std::vector<std::size_t>>
+      groups;
+  for (const CampaignJob& job : jobs)
+    groups[{job.task_i, job.geometry_i, job.engine_i, job.dcache_i,
+            job.tlb_i, job.l2_i}]
+        .push_back(job.index);
+
+  // Cache-aware order: sort groups by their shared store-key prefix so
+  // groups that reuse the same memo entries (duplicate axis values,
+  // content-equal geometries) run adjacently and stay hot in the bounded
+  // LRU. The axis tuple breaks ties, keeping the order a pure function of
+  // the spec. Output is unaffected: result slots are indexed.
+  std::vector<std::pair<StoreKey, std::vector<std::size_t>>> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [key, members] : groups)
+    ordered.emplace_back(campaign_group_key(jobs[members.front()]),
+                         std::move(members));
+  std::stable_sort(
+      ordered.begin(), ordered.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Within a group, run pfail-siblings back to back: cells differing only
+  // in pfail share the whole pfail-independent re-weighting bundle
+  // (analysis/pipeline.cpp), so ordering the mechanism axis outermost and
+  // pfail innermost lands every sibling on a bundle that is still hot.
+  // Expansion order puts pfail outside the mechanism axis, so without this
+  // the bundles would be cycled N_pfail times each. The sort key is a pure
+  // function of the spec; output is unaffected (slots are indexed).
+  std::vector<std::vector<std::size_t>> schedule;
+  schedule.reserve(ordered.size());
+  for (auto& [key, members] : ordered) {
+    std::stable_sort(members.begin(), members.end(),
+                     [&jobs](std::size_t a, std::size_t b) {
+                       const CampaignJob& x = jobs[a];
+                       const CampaignJob& y = jobs[b];
+                       return std::tie(x.kind_i, x.mechanism_i, x.dmech_i,
+                                       x.samples_i, x.pfail_i) <
+                              std::tie(y.kind_i, y.mechanism_i, y.dmech_i,
+                                       y.samples_i, y.pfail_i);
+                     });
+    schedule.push_back(std::move(members));
+  }
+  return schedule;
+}
+
+std::pair<std::size_t, std::size_t> shard_group_range(
+    std::size_t group_count, const ShardSelector& shard) {
+  // floor(i*G/N) boundaries: contiguous, exhaustive, balanced to within
+  // one group. Computed in this exact form everywhere so partition and
+  // runner agree.
+  const std::size_t first = group_count * shard.index / shard.count;
+  const std::size_t last = group_count * (shard.index + 1) / shard.count;
+  return {first, last};
+}
+
+std::vector<std::size_t> shard_job_slots(
+    const std::vector<std::vector<std::size_t>>& schedule,
+    const ShardSelector& shard) {
+  const auto [first, last] = shard_group_range(schedule.size(), shard);
+  std::vector<std::size_t> slots;
+  for (std::size_t g = first; g < last; ++g)
+    slots.insert(slots.end(), schedule[g].begin(), schedule[g].end());
+  std::sort(slots.begin(), slots.end());
+  return slots;
+}
+
+std::vector<std::size_t> shard_assignment(
+    const std::vector<std::vector<std::size_t>>& schedule,
+    std::size_t job_count, std::size_t shard_count) {
+  std::vector<std::size_t> assignment(job_count, 0);
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    const auto [first, last] =
+        shard_group_range(schedule.size(), {shard, shard_count});
+    for (std::size_t g = first; g < last; ++g)
+      for (const std::size_t job : schedule[g]) assignment[job] = shard;
+  }
+  return assignment;
+}
+
+StoreKey shard_fragment_key(const StoreKey& spec_key, std::size_t index,
+                            std::size_t count) {
+  return KeyHasher("campaign-shard-v1")
+      .mix_key(spec_key)
+      .mix_u64(index)
+      .mix_u64(count)
+      .finish();
+}
+
+std::string render_shard_fragment(const ShardFragment& fragment) {
+  std::string meta = "{\"schema\":\"";
+  meta += kShardFragmentSchema;
+  meta += "\",\"spec_key\":\"";
+  meta += fragment.spec_key;
+  meta += "\",\"shard\":";
+  meta += std::to_string(fragment.index + 1);  // 1-based, the CLI spelling
+  meta += ",\"of\":";
+  meta += std::to_string(fragment.count);
+  meta += ",\"jobs\":";
+  meta += std::to_string(fragment.job_count);
+  meta += ",\"points\":";
+  meta += std::to_string(fragment.curve_points);
+  meta += ",\"slots\":\"";
+  meta += render_slot_ranges(fragment.slots);
+  meta += "\",\"memo_hits\":";
+  meta += std::to_string(fragment.store_stats.hits);
+  meta += ",\"memo_misses\":";
+  meta += std::to_string(fragment.store_stats.misses);
+  meta += ",\"disk_hits\":";
+  meta += std::to_string(fragment.store_stats.disk_hits);
+  meta += ",\"disk_misses\":";
+  meta += std::to_string(fragment.store_stats.disk_misses);
+  meta += ",\"disk_writes\":";
+  meta += std::to_string(fragment.store_stats.disk_writes);
+  meta += "}\n";
+  return meta + fragment.report_rows + fragment.dist_rows;
+}
+
+bool parse_shard_fragment(const std::string& payload, ShardFragment& fragment,
+                          std::string& error) {
+  const std::size_t meta_end = payload.find('\n');
+  const std::string meta = payload.substr(
+      0, meta_end == std::string::npos ? payload.size() : meta_end);
+  const std::string expected_prefix =
+      std::string("{\"schema\":\"") + kShardFragmentSchema + "\",";
+  if (meta.rfind(expected_prefix, 0) != 0) {
+    error = "unrecognized fragment schema (want " +
+            std::string(kShardFragmentSchema) + ")";
+    return false;
+  }
+  std::uint64_t shard_1based = 0, count = 0, jobs = 0, points = 0;
+  std::string slots_text;
+  if (!json_string_field(meta, "spec_key", fragment.spec_key) ||
+      fragment.spec_key.size() != 32 ||
+      !json_u64_field(meta, "shard", shard_1based) ||
+      !json_u64_field(meta, "of", count) ||
+      !json_u64_field(meta, "jobs", jobs) ||
+      !json_u64_field(meta, "points", points) ||
+      !json_string_field(meta, "slots", slots_text)) {
+    error = "malformed fragment meta line";
+    return false;
+  }
+  if (shard_1based < 1 || count < 1 || shard_1based > count ||
+      count > kMaxShardCount) {
+    error = "fragment shard index " + std::to_string(shard_1based) + "/" +
+            std::to_string(count) + " out of range";
+    return false;
+  }
+  fragment.index = static_cast<std::size_t>(shard_1based - 1);
+  fragment.count = static_cast<std::size_t>(count);
+  fragment.job_count = static_cast<std::size_t>(jobs);
+  fragment.curve_points = static_cast<std::size_t>(points);
+  if (!parse_slot_ranges(slots_text, fragment.slots) ||
+      (!fragment.slots.empty() &&
+       fragment.slots.back() >= fragment.job_count)) {
+    error = "malformed fragment slot list '" + slots_text + "'";
+    return false;
+  }
+  // Store counters are informational; missing ones read as zero.
+  std::uint64_t value = 0;
+  fragment.store_stats = StoreStats{};
+  if (json_u64_field(meta, "memo_hits", value)) fragment.store_stats.hits = value;
+  if (json_u64_field(meta, "memo_misses", value))
+    fragment.store_stats.misses = value;
+  if (json_u64_field(meta, "disk_hits", value))
+    fragment.store_stats.disk_hits = value;
+  if (json_u64_field(meta, "disk_misses", value))
+    fragment.store_stats.disk_misses = value;
+  if (json_u64_field(meta, "disk_writes", value))
+    fragment.store_stats.disk_writes = value;
+
+  std::size_t dist_lines = 0;
+  if (!split_fragment_rows(payload, fragment.slots.size(),
+                           fragment.report_rows, fragment.dist_rows,
+                           dist_lines)) {
+    error = "fragment carries fewer report rows than covered slots";
+    return false;
+  }
+  if (dist_lines != fragment.slots.size() * fragment.curve_points) {
+    error = "fragment distribution rows (" + std::to_string(dist_lines) +
+            ") do not match slots x points (" +
+            std::to_string(fragment.slots.size() * fragment.curve_points) +
+            ")";
+    return false;
+  }
+  return true;
+}
+
+ShardRunOutcome run_campaign_shard(const CampaignSpec& spec,
+                                   const ShardSelector& shard,
+                                   const RunnerOptions& options,
+                                   const std::string& cache_dir) {
+  const std::vector<CampaignJob> jobs = expand_campaign(spec);
+  const std::vector<std::vector<std::size_t>> schedule =
+      campaign_group_schedule(jobs);
+
+  ShardRunOutcome outcome;
+  outcome.shard = shard;
+  outcome.slots = shard_job_slots(schedule, shard);
+
+  RunnerOptions run_options = options;
+  run_options.shard = shard;
+  outcome.campaign = run_campaign(spec, run_options);
+
+  const StoreKey spec_key = campaign_spec_key(spec);
+  ShardFragment fragment;
+  fragment.index = shard.index;
+  fragment.count = shard.count;
+  fragment.spec_key = spec_key.hex();
+  fragment.job_count = jobs.size();
+  fragment.curve_points = spec.ccdf_exceedances.size();
+  fragment.slots = outcome.slots;
+  fragment.store_stats = outcome.campaign.store_stats;
+  for (const std::size_t slot : outcome.slots) {
+    fragment.report_rows +=
+        report_jsonl_row(outcome.campaign, outcome.campaign.results[slot]);
+    fragment.dist_rows += report_dist_jsonl_rows(
+        outcome.campaign, outcome.campaign.results[slot]);
+  }
+
+  // The fragment store is independent of options.store: a --store off
+  // shard run still writes a mergeable fragment. Sweep crash debris first
+  // — shards share cache directories, and a dead writer's temp files
+  // should not accumulate across campaigns.
+  const ArtifactStore store({cache_dir});
+  store.sweep_orphans();
+  if (!store.store_text(kShardFragmentKind,
+                        shard_fragment_key(spec_key, shard.index,
+                                           shard.count),
+                        render_shard_fragment(fragment)))
+    throw std::runtime_error("cannot write shard fragment artifact into " +
+                             cache_dir);
+  return outcome;
+}
+
+CampaignResult shard_view(const ShardRunOutcome& outcome) {
+  CampaignResult view;
+  view.spec = outcome.campaign.spec;
+  view.threads_used = outcome.campaign.threads_used;
+  view.wall_seconds = outcome.campaign.wall_seconds;
+  view.store_stats = outcome.campaign.store_stats;
+  view.results.reserve(outcome.slots.size());
+  for (const std::size_t slot : outcome.slots)
+    view.results.push_back(outcome.campaign.results[slot]);
+  return view;
+}
+
+ShardMergeOutcome merge_campaign_shards(const CampaignSpec& spec,
+                                        const ShardMergeOptions& options) {
+  if (options.from_dirs.empty())
+    throw ShardMergeError("no shard directories to merge");
+  const std::vector<CampaignJob> jobs = expand_campaign(spec);
+  const StoreKey spec_key = campaign_spec_key(spec);
+  const std::string spec_key_hex = spec_key.hex();
+  const std::size_t points = spec.ccdf_exceedances.size();
+
+  // Scan every directory's fragment artifacts. Any file in the fragment
+  // directory that does not validate is a hard error: merging around a
+  // corrupted fragment would silently drop a shard.
+  std::vector<ScannedFragment> scanned;
+  for (const std::string& dir : options.from_dirs) {
+    const fs::path fragment_dir = fs::path(dir) / kShardFragmentKind;
+    std::error_code ec;
+    if (!fs::exists(fragment_dir, ec)) continue;
+    fs::directory_iterator files(fragment_dir, ec);
+    if (ec)
+      throw ShardMergeError("cannot read " + fragment_dir.string() + ": " +
+                            ec.message());
+    const ArtifactStore store({dir});
+    for (const fs::directory_entry& file : files) {
+      if (!file.is_regular_file(ec)) continue;
+      const std::string name = file.path().filename().string();
+      if (file.path().extension() != ".jsonl" ||
+          name.find(".jsonl.tmp") != std::string::npos)
+        continue;  // writer-crash debris; swept elsewhere
+      StoreKey key;
+      if (!store_key_from_hex(file.path().stem().string(), key))
+        throw ShardMergeError("foreign file in fragment directory: " +
+                              file.path().string());
+      const std::optional<std::string> payload =
+          store.load_text(kShardFragmentKind, key);
+      if (!payload)
+        throw ShardMergeError("corrupted shard fragment artifact: " +
+                              file.path().string() +
+                              " (header or payload-hash validation failed)");
+      ScannedFragment entry;
+      entry.path = file.path().string();
+      entry.payload = *payload;
+      std::string error;
+      if (!parse_shard_fragment(entry.payload, entry.fragment, error))
+        throw ShardMergeError("invalid shard fragment " + entry.path + ": " +
+                              error);
+      scanned.push_back(std::move(entry));
+    }
+  }
+
+  // Keep this spec's fragments; a directory holding only foreign-spec
+  // fragments is named (the likeliest cause is merging the wrong spec
+  // file against the right directories, or vice versa).
+  std::vector<ScannedFragment> matching;
+  for (ScannedFragment& entry : scanned)
+    if (entry.fragment.spec_key == spec_key_hex)
+      matching.push_back(std::move(entry));
+  if (matching.empty()) {
+    if (!scanned.empty())
+      throw ShardMergeError(
+          "spec-key mismatch: fragment " + scanned.front().path +
+          " carries spec key " + scanned.front().fragment.spec_key +
+          ", want " + spec_key_hex + " (no fragments of this spec found)");
+    throw ShardMergeError("no shard fragments found under the given "
+                          "directories (looked for " +
+                          std::string(kShardFragmentKind) + "/*.jsonl)");
+  }
+
+  // Resolve the partition's shard count, honoring --shards when given.
+  std::size_t shard_count = options.shard_count;
+  if (shard_count == 0) {
+    for (const ScannedFragment& entry : matching) {
+      if (shard_count == 0) {
+        shard_count = entry.fragment.count;
+      } else if (entry.fragment.count != shard_count) {
+        throw ShardMergeError(
+            "fragments disagree on the shard count (" +
+            std::to_string(shard_count) + " vs " +
+            std::to_string(entry.fragment.count) +
+            "); pass --shards N to select one partition");
+      }
+    }
+  }
+
+  // Collate by shard index: duplicates must be byte-identical (reruns of
+  // the same shard into the same or different directories), and every
+  // index must be present.
+  std::vector<const ScannedFragment*> by_index(shard_count, nullptr);
+  for (const ScannedFragment& entry : matching) {
+    if (entry.fragment.count != shard_count) continue;  // other partition
+    const std::size_t index = entry.fragment.index;
+    if (by_index[index] != nullptr) {
+      if (by_index[index]->payload != entry.payload)
+        throw ShardMergeError(
+            "duplicate shard " + std::to_string(index + 1) + "/" +
+            std::to_string(shard_count) + ": " + by_index[index]->path +
+            " and " + entry.path + " differ");
+      continue;  // identical rerun; keep the first
+    }
+    by_index[index] = &entry;
+  }
+  for (std::size_t i = 0; i < shard_count; ++i)
+    if (by_index[i] == nullptr)
+      throw ShardMergeError("missing shard " + std::to_string(i + 1) + "/" +
+                            std::to_string(shard_count) + " for spec key " +
+                            spec_key_hex);
+
+  // The fragments must exactly partition the campaign's job slots.
+  ShardMergeOutcome outcome;
+  outcome.shard_count = shard_count;
+  outcome.campaign.spec = spec;
+  outcome.campaign.results.resize(jobs.size());
+  std::vector<bool> covered(jobs.size(), false);
+  for (const ScannedFragment* entry : by_index) {
+    const ShardFragment& fragment = entry->fragment;
+    if (fragment.job_count != jobs.size() || fragment.curve_points != points)
+      throw ShardMergeError(
+          "fragment " + entry->path + " does not match the spec (" +
+          std::to_string(fragment.job_count) + " jobs / " +
+          std::to_string(fragment.curve_points) + " points, spec has " +
+          std::to_string(jobs.size()) + " / " + std::to_string(points) +
+          ")");
+    for (const std::size_t slot : fragment.slots) {
+      if (covered[slot])
+        throw ShardMergeError(
+            "shard fragments do not partition the campaign: job slot " +
+            std::to_string(slot) + " is covered twice (second time by " +
+            entry->path + ")");
+      covered[slot] = true;
+    }
+    if (!parse_campaign_report_rows(fragment.report_rows, jobs,
+                                    fragment.slots,
+                                    outcome.campaign.results))
+      throw ShardMergeError("fragment " + entry->path +
+                            ": malformed report rows");
+    if (points > 0 &&
+        !parse_campaign_dist_rows(fragment.dist_rows, points, fragment.slots,
+                                  outcome.campaign.results))
+      throw ShardMergeError("fragment " + entry->path +
+                            ": malformed distribution rows");
+    outcome.campaign.store_stats.hits += fragment.store_stats.hits;
+    outcome.campaign.store_stats.misses += fragment.store_stats.misses;
+    outcome.campaign.store_stats.disk_hits += fragment.store_stats.disk_hits;
+    outcome.campaign.store_stats.disk_misses +=
+        fragment.store_stats.disk_misses;
+    outcome.campaign.store_stats.disk_writes +=
+        fragment.store_stats.disk_writes;
+  }
+  for (std::size_t slot = 0; slot < covered.size(); ++slot)
+    if (!covered[slot])
+      throw ShardMergeError(
+          "shard fragments do not partition the campaign: job slot " +
+          std::to_string(slot) + " is covered by no shard");
+
+  // Store union, then publish the merged whole-campaign artifacts so a
+  // future `pwcet run` against the union answers from the warm path.
+  if (!options.into_dir.empty()) {
+    try {
+      const StoreMergeStats stats =
+          merge_artifact_dirs(options.from_dirs, options.into_dir);
+      outcome.artifacts_copied = stats.copied;
+      outcome.artifacts_identical = stats.identical;
+    } catch (const StoreMergeError& e) {
+      throw ShardMergeError(e.what());
+    }
+    const ArtifactStore store({options.into_dir});
+    store.store_text("campaign-report", spec_key,
+                     report_jsonl(outcome.campaign));
+    if (points > 0)
+      store.store_text("campaign-dist", spec_key,
+                       report_dist_jsonl(outcome.campaign));
+  }
+  return outcome;
+}
+
+}  // namespace pwcet

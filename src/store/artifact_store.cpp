@@ -134,6 +134,23 @@ bool ArtifactStore::store_text(std::string_view kind, const StoreKey& key,
   return true;
 }
 
+std::size_t ArtifactStore::sweep_orphans(std::chrono::seconds min_age) const {
+  std::error_code ec;
+  fs::recursive_directory_iterator walk(options_.directory, ec);
+  if (ec) return 0;
+  const fs::file_time_type cutoff = fs::file_time_type::clock::now() - min_age;
+  std::size_t removed = 0;
+  for (const fs::directory_entry& entry : walk) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".jsonl.tmp") == std::string::npos) continue;
+    const fs::file_time_type written = entry.last_write_time(ec);
+    if (ec || written > cutoff) continue;  // a live writer's file: keep it
+    if (fs::remove(entry.path(), ec)) ++removed;
+  }
+  return removed;
+}
+
 bool ArtifactStore::store_distribution(
     const StoreKey& key, const DiscreteDistribution& distribution) const {
   std::string payload;

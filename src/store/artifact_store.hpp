@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -72,6 +73,16 @@ class ArtifactStore {
       const StoreKey& key) const;
   bool store_distribution(const StoreKey& key,
                           const DiscreteDistribution& distribution) const;
+
+  /// Removes "<key>.jsonl.tmp*" temp files older than `min_age` — the
+  /// debris of writers that died between creating their temp file and
+  /// renaming it into place. Live writers are protected by the age floor
+  /// (a write is milliseconds; the default floor is an hour), so the sweep
+  /// is safe to run while other processes — e.g. concurrent campaign
+  /// shards sharing one cache directory — are still writing. Returns the
+  /// number of orphans removed; a missing directory sweeps zero.
+  std::size_t sweep_orphans(
+      std::chrono::seconds min_age = std::chrono::seconds(3600)) const;
 
   std::uint64_t disk_hits() const { return disk_hits_.load(); }
   std::uint64_t disk_misses() const { return disk_misses_.load(); }

@@ -40,6 +40,26 @@ std::string StoreKey::hex() const {
   return out;
 }
 
+bool store_key_from_hex(std::string_view hex, StoreKey& key) {
+  if (hex.size() != 32) return false;
+  std::uint64_t words[2] = {0, 0};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const char c = hex[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;  // uppercase is rejected: hex() never emits it
+    }
+    words[i / 16] = (words[i / 16] << 4) | digit;
+  }
+  key.hi = words[0];
+  key.lo = words[1];
+  return true;
+}
+
 KeyHasher::KeyHasher(std::string_view domain) : a_(kLaneA), b_(kLaneB) {
   mix_string(domain);
 }

@@ -44,6 +44,13 @@ struct StoreKey {
   friend auto operator<=>(const StoreKey&, const StoreKey&) = default;
 };
 
+/// Parses the 32-hex-digit spelling produced by StoreKey::hex() (artifact
+/// file names) back into a key; false on any other input. Lets tooling
+/// that scans a cache directory (pwcet merge) recover the key of an
+/// artifact from its file name and re-validate the file through the
+/// ArtifactStore header check.
+bool store_key_from_hex(std::string_view hex, StoreKey& key);
+
 /// Hash functor for unordered containers. `lo` is already uniformly mixed,
 /// so it serves as the bucket hash directly.
 struct StoreKeyHash {

@@ -326,6 +326,135 @@ TEST_F(CliTest, CacheStatsAndClearManageTheArtifactDirectory) {
   EXPECT_FALSE(fs::exists(orphan));
 }
 
+TEST_F(CliTest, CacheStatsAndClearOnMissingOrEmptyDirectoryReportCleanly) {
+  // Nonexistent directory: both subcommands succeed and say so (0
+  // artifacts), instead of erroring on a path that simply was never
+  // populated.
+  const std::string missing = (fs::path(dir_) / "never_created").string();
+  CliResult result = run_cli({"cache", "stats", "--cache-dir", missing});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("0 artifacts"), std::string::npos) << result.out;
+  result = run_cli({"cache", "clear", "--cache-dir", missing});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("0 artifacts"), std::string::npos) << result.out;
+
+  // Existing but empty directory: stats shows a zero total, clear removes
+  // zero artifacts; both exit 0.
+  const std::string empty = (fs::path(dir_) / "empty_cache").string();
+  fs::create_directories(empty);
+  result = run_cli({"cache", "stats", "--cache-dir", empty});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("total"), std::string::npos) << result.out;
+  result = run_cli({"cache", "clear", "--cache-dir", empty});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("removed 0 artifacts"), std::string::npos)
+      << result.out;
+}
+
+// ---- shard / merge ---------------------------------------------------------
+
+TEST_F(CliTest, ShardRunsAndMergeReproduceTheSingleProcessBytes) {
+  const std::string spec_path = tiny_spec_path();
+  const CliResult single = run_cli({"run", spec_path, "--store", "off"});
+  ASSERT_EQ(single.code, 0) << single.err;
+
+  const std::string cache = (fs::path(dir_) / "shards").string();
+  for (const char* selector : {"1/2", "2/2"}) {
+    const CliResult shard =
+        run_cli({"run", spec_path, "--shard", selector, "--cache-dir", cache});
+    ASSERT_EQ(shard.code, 0) << shard.err;
+    EXPECT_NE(shard.err.find("fragment ->"), std::string::npos) << shard.err;
+  }
+
+  const std::string union_dir = (fs::path(dir_) / "union").string();
+  const CliResult merged = run_cli(
+      {"merge", spec_path, "--from", cache, "--into", union_dir});
+  ASSERT_EQ(merged.code, 0) << merged.err;
+  EXPECT_EQ(merged.out, single.out);
+  EXPECT_NE(merged.err.find("merged 2 shards"), std::string::npos)
+      << merged.err;
+
+  // The union published the merged campaign artifact: a whole-campaign run
+  // against it answers warm with the same bytes.
+  const CliResult warm =
+      run_cli({"run", spec_path, "--cache-dir", union_dir});
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(warm.out, single.out);
+}
+
+TEST_F(CliTest, ShardFlagValidatesItsSpellingAndCacheDirRequirement) {
+  const std::string spec_path = tiny_spec_path();
+  // --shard without any cache directory cannot write its fragment.
+  CliResult result = run_cli({"run", spec_path, "--shard", "1/2"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("cache directory"), std::string::npos)
+      << result.err;
+  // Malformed selectors are usage errors.
+  for (const char* bad : {"0/2", "3/2", "2", "a/b"}) {
+    result = run_cli({"run", spec_path, "--shard", bad, "--cache-dir",
+                      (fs::path(dir_) / "c").string()});
+    EXPECT_EQ(result.code, 2) << bad;
+    EXPECT_NE(result.err.find("--shard wants i/N"), std::string::npos)
+        << result.err;
+  }
+}
+
+TEST_F(CliTest, MergeFailsNonZeroOnMissingOrCorruptedFragments) {
+  const std::string spec_path = tiny_spec_path();
+  const std::string cache = (fs::path(dir_) / "partial").string();
+  ASSERT_EQ(run_cli({"run", spec_path, "--shard", "1/2", "--cache-dir",
+                     cache})
+                .code,
+            0);
+
+  // Shard 2/2 never ran: the merge names the missing shard and fails.
+  CliResult result = run_cli({"merge", spec_path, "--from", cache});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("missing shard 2/2"), std::string::npos)
+      << result.err;
+
+  // Complete the set, then corrupt one fragment artifact: hard error
+  // naming the file (the artifact's content hash catches the flip).
+  ASSERT_EQ(run_cli({"run", spec_path, "--shard", "2/2", "--cache-dir",
+                     cache})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"merge", spec_path, "--from", cache}).code, 0);
+  const fs::path fragment_dir = fs::path(cache) / "campaign-shard";
+  std::string victim;
+  for (const auto& entry : fs::directory_iterator(fragment_dir))
+    if (entry.path().extension() == ".jsonl") {
+      victim = entry.path().string();
+      break;
+    }
+  ASSERT_FALSE(victim.empty());
+  std::string bytes = read_file(victim);
+  bytes[bytes.size() - 2] = bytes[bytes.size() - 2] == '0' ? '1' : '0';
+  std::ofstream(victim, std::ios::binary) << bytes;
+  result = run_cli({"merge", spec_path, "--from", cache});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("corrupted shard fragment artifact"),
+            std::string::npos)
+      << result.err;
+}
+
+TEST_F(CliTest, DescribeShardsAppendsTheAssignmentColumn) {
+  const std::string spec_path = tiny_spec_path();
+  CliResult result = run_cli({"describe", spec_path, "--shards", "3"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("shard"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("/3"), std::string::npos) << result.out;
+  // Without the flag the column stays absent, and a bad count is a usage
+  // error.
+  result = run_cli({"describe", spec_path});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out.find("shard"), std::string::npos) << result.out;
+  result = run_cli({"describe", spec_path, "--shards", "0"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--shards wants"), std::string::npos)
+      << result.err;
+}
+
 // ---- observability flags ---------------------------------------------------
 
 TEST_F(CliTest, TraceAndMetricsExportsParseAndLeaveTheReportUntouched) {

@@ -3,6 +3,7 @@
 // against the cycle-accurate simulator.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 
 #include "fault/fault_map.hpp"
@@ -168,6 +169,40 @@ TEST_P(EngineEquivalenceTest, FmmEnginesAgree) {
       EXPECT_NEAR(via_ilp.rw.at(s, f), via_tree.rw.at(s, f), 1e-5)
           << "rw s=" << s << " f=" << f;
     }
+  }
+}
+
+// Reference equivalence for the FMM signature dedup (wcet/fmm.cpp): with
+// PWCET_FMM_DEDUP=0 every used set computes its own rows; by default sets
+// sharing a canonical reference signature reuse one computation. The
+// bundles must match bitwise for both engines — the dedup is a pure
+// strength reduction, not an approximation, and in particular must not
+// perturb the ILP engine's warm-started simplex trajectory.
+TEST_P(EngineEquivalenceTest, FmmSignatureDedupIsBitIdentical) {
+  const Program p = workloads::build(GetParam());
+  const CacheConfig c = CacheConfig::paper_default();
+  const auto refs = extract_references(p.cfg(), c);
+  for (const WcetEngine engine : {WcetEngine::kTree, WcetEngine::kIlp}) {
+    ::setenv("PWCET_FMM_DEDUP", "0", 1);
+    IpetCalculator ipet_reference(p);
+    const FmmBundle reference = compute_fmm_bundle(
+        p, c, refs, engine,
+        engine == WcetEngine::kIlp ? &ipet_reference : nullptr);
+    ::setenv("PWCET_FMM_DEDUP", "1", 1);
+    IpetCalculator ipet_dedup(p);
+    const FmmBundle dedup = compute_fmm_bundle(
+        p, c, refs, engine,
+        engine == WcetEngine::kIlp ? &ipet_dedup : nullptr);
+    ::unsetenv("PWCET_FMM_DEDUP");
+    for (SetIndex s = 0; s < c.sets; ++s)
+      for (std::uint32_t f = 0; f <= c.ways; ++f) {
+        EXPECT_EQ(reference.none.at(s, f), dedup.none.at(s, f))
+            << "none s=" << s << " f=" << f;
+        EXPECT_EQ(reference.rw.at(s, f), dedup.rw.at(s, f))
+            << "rw s=" << s << " f=" << f;
+        EXPECT_EQ(reference.srb.at(s, f), dedup.srb.at(s, f))
+            << "srb s=" << s << " f=" << f;
+      }
   }
 }
 
